@@ -1,0 +1,274 @@
+// Package repro's benchmarks regenerate every table and figure of the
+// paper at reduced scale (testing.B controls iteration; Fast mode lowers
+// optimizer resolution and trial counts so one iteration stays around a
+// second). The paper-scale artifacts come from `go run ./cmd/repro all`;
+// these benchmarks exist so `go test -bench=.` exercises the exact same
+// harness code paths end to end and reports their cost.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/experiments"
+	"repro/internal/model/dauwe"
+	"repro/internal/model/moody"
+	"repro/internal/pattern"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+// benchOpts shrinks an experiment to benchmark scale.
+func benchOpts(trials int) experiments.Options {
+	return experiments.Options{
+		Trials:        trials,
+		Seed:          1,
+		MaxWallFactor: 30,
+		Fast:          true,
+	}
+}
+
+// BenchmarkTable1 regenerates the Table I catalog.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := report.TableI(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates the Figure 2 five-technique comparison over
+// all eleven Table I systems.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(benchOpts(3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Fig2(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates the Figure 3 time-breakdown study.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(benchOpts(3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Fig3(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates the Figure 4 exascale grid (20 scenarios ×
+// 3 techniques).
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(benchOpts(3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Fig4(io.Discard, r, "fig4"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates the Figure 5 short-application study.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(benchOpts(6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Fig5(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the Figure 6 prediction-error comparison.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(benchOpts(3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Fig6(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDauwePredict measures one evaluation of the paper's
+// hierarchical model (the optimizer's inner loop).
+func BenchmarkDauwePredict(b *testing.B) {
+	sys, err := system.ByName("B")
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := pattern.Plan{Tau0: 2, Counts: []int{2, 1, 3}, Levels: []int{1, 2, 3, 4}}
+	tech := dauwe.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tech.Predict(sys, plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMoodyPredict measures one exact Markov-chain evaluation.
+func BenchmarkMoodyPredict(b *testing.B) {
+	sys, err := system.ByName("B")
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := pattern.Plan{Tau0: 2, Counts: []int{2, 1, 3}, Levels: []int{1, 2, 3, 4}}
+	tech := moody.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tech.Predict(sys, plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimTrial measures one simulated trial on a failure-heavy
+// system (the campaign runner's inner loop).
+func BenchmarkSimTrial(b *testing.B) {
+	sys, err := system.ByName("D4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Config{
+		System: sys,
+		Plan:   pattern.Plan{Tau0: 1.3, Counts: []int{3}, Levels: []int{1, 2}},
+	}
+	seed := rng.Campaign(1, "bench-sim")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunTrial(cfg, seed.Trial(i).Rand()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPolicy regenerates the restart-policy ablation.
+func BenchmarkAblationPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.PolicyAblation(benchOpts(3), []string{"D4"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Ablation(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationWeibull regenerates the failure-law ablation.
+func BenchmarkAblationWeibull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.WeibullAblation(benchOpts(3), 0.7, []string{"D4"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Ablation(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSensitivity regenerates the τ0 sensitivity sweep.
+func BenchmarkSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Sensitivity(benchOpts(3), "D4", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Sensitivity(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAsync regenerates the async-flush ablation.
+func BenchmarkAblationAsync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AsyncAblation(benchOpts(3), []string{"D4"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Ablation(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates the pattern-illustration figure.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := report.Fig1SVG(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarkovPeriod measures the exact chain solve for a long
+// period (the Moody optimizer's inner loop).
+func BenchmarkMarkovPeriod(b *testing.B) {
+	sys, err := system.ByName("B")
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := pattern.Plan{Tau0: 3, Counts: []int{1, 1, 15}, Levels: []int{1, 2, 3, 4}}
+	chain, err := moody.BuildChain(sys, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chain.ExpectedPeriodTime(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdaptiveTrial measures one adaptive-controller trial.
+func BenchmarkAdaptiveTrial(b *testing.B) {
+	truth, err := system.ByName("D4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	belief := truth.WithMTBF(24)
+	ctrlFactory := func() sim.PlanController {
+		c, err := adaptive.NewController(belief, adaptive.Options{ReplanEvery: 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	static, err := adaptive.NewController(belief, adaptive.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := static.InitialPlan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := rng.Campaign(1, "bench-adaptive")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Config{System: truth, Plan: plan, Controller: ctrlFactory()}
+		if _, err := sim.RunTrial(cfg, seed.Trial(i).Rand()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Command mlckpt optimizes multilevel checkpoint intervals for a system
+// and reports every technique's chosen plan, its own prediction, and
+// (optionally) the simulated ground truth.
+//
+// Usage:
+//
+//	mlckpt [flags]
+//
+// The system is either a Table I system (-system M|B|D1..D9) or a custom
+// one assembled from -mtbf, -tb, -levels, -probs and -times. Examples:
+//
+//	mlckpt -system D4
+//	mlckpt -system B -scale-mtbf 15 -scale-pfs 20 -tb 30
+//	mlckpt -mtbf 60 -tb 1440 -probs 0.8,0.2 -times 0.5,5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/faultlog"
+	"repro/internal/model"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/system"
+
+	_ "repro/internal/model/benoit"
+	_ "repro/internal/model/daly"
+	_ "repro/internal/model/dauwe"
+	_ "repro/internal/model/di"
+	_ "repro/internal/model/moody"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mlckpt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mlckpt", flag.ContinueOnError)
+	sysName := fs.String("system", "", "Table I system name (M, B, D1..D9)")
+	config := fs.String("config", "", "JSON system description file (see system.WriteJSON)")
+	flog := fs.String("faultlog", "", "CSV failure log (time_minutes,severity); refits MTBF and severity mix onto the chosen system")
+	mtbf := fs.Float64("mtbf", 0, "custom system MTBF in minutes")
+	tb := fs.Float64("tb", 0, "application baseline time in minutes (overrides the system's)")
+	probs := fs.String("probs", "", "custom severity probabilities, comma-separated")
+	times := fs.String("times", "", "custom per-level checkpoint(=restart) times in minutes, comma-separated")
+	scaleMTBF := fs.Float64("scale-mtbf", 0, "override MTBF of the chosen system")
+	scalePFS := fs.Float64("scale-pfs", 0, "override level-L checkpoint/restart time")
+	techs := fs.String("techniques", "dauwe,di,moody,benoit,daly", "comma-separated techniques")
+	trials := fs.Int("trials", 0, "also simulate each plan over this many trials")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sys, err := buildSystem(*sysName, *config, *mtbf, *tb, *probs, *times)
+	if err != nil {
+		return err
+	}
+	if *scaleMTBF > 0 {
+		sys = sys.WithMTBF(*scaleMTBF)
+	}
+	if *scalePFS > 0 {
+		sys = sys.WithTopCost(*scalePFS)
+	}
+	if *tb > 0 {
+		sys = sys.WithBaseline(*tb)
+	}
+	if *flog != "" {
+		refit, diag, err := refitFromLog(sys, *flog)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, diag)
+		sys = refit
+	}
+	if err := sys.Validate(); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, sys)
+
+	tab := report.NewTable("technique", "plan", "predicted eff", "sim eff (mean±σ)")
+	for _, name := range strings.Split(*techs, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		tech, err := model.New(name)
+		if err != nil {
+			return err
+		}
+		plan, pred, err := tech.Optimize(sys)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		simCol := ""
+		if *trials > 0 {
+			camp := sim.Campaign{
+				Config: sim.Config{System: sys, Plan: plan},
+				Trials: *trials,
+				Seed:   rng.Campaign(*seed, "mlckpt").Scenario(sys.Name + "/" + name),
+			}
+			res, err := camp.Run()
+			if err != nil {
+				return fmt.Errorf("%s: simulate: %w", name, err)
+			}
+			simCol = fmt.Sprintf("%.3f±%.3f", res.Efficiency.Mean, res.Efficiency.Std)
+		}
+		tab.AddRow(name, plan.String(), fmt.Sprintf("%.3f", pred.Efficiency), simCol)
+	}
+	return tab.Render(stdout)
+}
+
+func buildSystem(name, config string, mtbf, tb float64, probs, times string) (*system.System, error) {
+	if name != "" {
+		return system.ByName(name)
+	}
+	if config != "" {
+		f, err := os.Open(config)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return system.ReadJSON(f)
+	}
+	if probs == "" || times == "" || mtbf <= 0 {
+		return nil, fmt.Errorf("custom systems need -config, or -mtbf with -probs and -times (or use -system)")
+	}
+	ps, err := parseFloats(probs)
+	if err != nil {
+		return nil, fmt.Errorf("-probs: %w", err)
+	}
+	ts, err := parseFloats(times)
+	if err != nil {
+		return nil, fmt.Errorf("-times: %w", err)
+	}
+	if len(ps) != len(ts) {
+		return nil, fmt.Errorf("-probs has %d entries but -times has %d", len(ps), len(ts))
+	}
+	if tb <= 0 {
+		tb = 1440
+	}
+	s := &system.System{Name: "custom", MTBF: mtbf, BaselineTime: tb}
+	for i := range ps {
+		s.Levels = append(s.Levels, system.Level{
+			Checkpoint: ts[i], Restart: ts[i], SeverityProb: ps[i],
+		})
+	}
+	return s, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// refitFromLog replaces the system's failure model with rates fitted
+// from a CSV failure log, and reports a burstiness diagnostic for the
+// exponential assumption.
+func refitFromLog(sys *system.System, path string) (*system.System, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	entries, err := faultlog.ParseCSV(f)
+	if err != nil {
+		return nil, "", err
+	}
+	fit, err := faultlog.Analyze(entries, sys.NumLevels(), 0)
+	if err != nil {
+		return nil, "", err
+	}
+	refit, err := fit.ApplyTo(sys)
+	if err != nil {
+		return nil, "", err
+	}
+	diag := fmt.Sprintf("faultlog: %d failures over %.0f min -> MTBF %.2f min",
+		len(entries), fit.Duration, fit.MTBF)
+	if cv2, err := faultlog.ExponentialGoodness(faultlog.Interarrivals(entries)); err == nil {
+		diag += fmt.Sprintf("; inter-arrival cv2 = %.2f (1 = exponential)", cv2)
+	}
+	return refit, diag, nil
+}

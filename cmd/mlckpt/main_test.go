@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableISystem(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-system", "D2", "-techniques", "dauwe,daly"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"D2", "dauwe", "daly", "levels=[2]", "predicted eff"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCustomSystem(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-mtbf", "60", "-tb", "500", "-probs", "0.8,0.2", "-times", "0.5,5", "-techniques", "dauwe"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "custom") {
+		t.Errorf("custom system not echoed:\n%s", out.String())
+	}
+}
+
+func TestScalingFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-system", "B", "-scale-mtbf", "15", "-scale-pfs", "20", "-tb", "30", "-techniques", "di"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "MTBF=15min") || !strings.Contains(s, "TB=30min") {
+		t.Errorf("scaling not applied:\n%s", s)
+	}
+	// 30-minute app with 20-minute PFS: Di skips level 4.
+	if strings.Contains(s, "levels=[3 4]") {
+		t.Errorf("di should skip PFS here:\n%s", s)
+	}
+}
+
+func TestSimulationColumn(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-system", "D4", "-techniques", "daly", "-trials", "20"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "±") {
+		t.Errorf("sim column missing:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-system", "XX"},
+		{"-mtbf", "60"}, // missing probs/times
+		{"-mtbf", "60", "-probs", "1", "-times", "1,2"},  // length mismatch
+		{"-mtbf", "60", "-probs", "abc", "-times", "1"},  // parse error
+		{"-system", "D1", "-techniques", "doesnotexist"}, // unknown technique
+		{"-mtbf", "-5", "-probs", "1", "-times", "1"},    // invalid mtbf
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sys.json")
+	cfg := `{"name":"filecfg","mtbf_minutes":30,"baseline_minutes":600,
+	 "levels":[
+	  {"checkpoint_minutes":0.5,"restart_minutes":0.5,"severity_prob":0.8},
+	  {"checkpoint_minutes":4,"restart_minutes":4,"severity_prob":0.2}]}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-config", path, "-techniques", "dauwe"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "filecfg") {
+		t.Errorf("config system not used:\n%s", out.String())
+	}
+	if err := run([]string{"-config", filepath.Join(dir, "missing.json")}, &bytes.Buffer{}); err == nil {
+		t.Error("missing config accepted")
+	}
+}
+
+func TestFaultlogRefit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "failures.csv")
+	// 9 severity-1 + 1 severity-2 failure over 100 minutes: MTBF 10.
+	log := "time_minutes,severity\n"
+	for i := 1; i <= 9; i++ {
+		log += fmt.Sprintf("%d,1\n", i*10)
+	}
+	log += "100,2\n"
+	if err := os.WriteFile(path, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-system", "D2", "-faultlog", path, "-techniques", "dauwe"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "MTBF 10.00 min") {
+		t.Errorf("refit diagnostic missing:\n%s", s)
+	}
+	if !strings.Contains(s, "MTBF=10min") {
+		t.Errorf("system not refitted:\n%s", s)
+	}
+	if err := run([]string{"-system", "D2", "-faultlog", filepath.Join(dir, "none.csv")}, &bytes.Buffer{}); err == nil {
+		t.Error("missing faultlog accepted")
+	}
+}

@@ -1,0 +1,262 @@
+// Command repro regenerates the paper's tables and figures. Each
+// experiment optimizes checkpoint intervals with every technique under
+// comparison, simulates the optimized plans over randomized trials, and
+// writes the paper's rows as an aligned text table plus optional CSV and
+// SVG artifacts.
+//
+// Usage:
+//
+//	repro [flags] table1|fig1|fig2|fig3|fig4|fig5|fig6|sensitivity|
+//	              ablation-policy|ablation-weibull|ablation-async|all
+//
+// Flags:
+//
+//	-trials N    override the per-scenario trial count (default: paper's)
+//	-seed N      campaign base seed (default 1)
+//	-out DIR     write <experiment>.txt/.csv/.svg under DIR ("" = stdout only)
+//	-quiet       suppress per-scenario progress lines
+//	-wall F      per-trial wall-time cap as a multiple of T_B (default 150)
+//	-fast        low-resolution optimizer grids for smoke runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	trials := fs.Int("trials", 0, "per-scenario trial count (0 = paper default)")
+	seed := fs.Uint64("seed", 1, "campaign base seed")
+	outDir := fs.String("out", "", "directory for .txt/.csv/.svg artifacts")
+	quiet := fs.Bool("quiet", false, "suppress progress lines")
+	wall := fs.Float64("wall", 0, "trial wall cap as multiple of T_B (0 = default 150)")
+	fast := fs.Bool("fast", false, "low-resolution optimizer grids (smoke runs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: repro [flags] table1|fig1|fig2|fig3|fig4|fig5|fig6|sensitivity|ablation-policy|ablation-weibull|ablation-async|all")
+	}
+	opt := experiments.Options{
+		Trials:        *trials,
+		Seed:          *seed,
+		MaxWallFactor: *wall,
+		Fast:          *fast,
+	}
+	if !*quiet {
+		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	which := fs.Arg(0)
+	targets := []string{which}
+	if which == "all" {
+		targets = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6"}
+	}
+	// fig6 is derived from fig4's grid; when both run, share the run.
+	var sharedFig4 *experiments.Fig4Result
+	for _, target := range targets {
+		start := time.Now()
+		if err := runOne(target, opt, *outDir, stdout, &sharedFig4); err != nil {
+			return fmt.Errorf("%s: %w", target, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "%s done in %v\n", target, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}
+
+// artifact opens DIR/name for writing (or returns nil when no out dir).
+func artifact(outDir, name string) (*os.File, error) {
+	if outDir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, err
+	}
+	return os.Create(filepath.Join(outDir, name))
+}
+
+// emit writes an artifact via render when an output directory is set.
+func emit(outDir, name string, render func(io.Writer) error) error {
+	f, err := artifact(outDir, name)
+	if err != nil || f == nil {
+		return err
+	}
+	defer f.Close()
+	if err := render(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func runOne(target string, opt experiments.Options, outDir string, stdout io.Writer, sharedFig4 **experiments.Fig4Result) error {
+	switch target {
+	case "table1":
+		if err := report.TableI(stdout); err != nil {
+			return err
+		}
+		if err := emit(outDir, "table1.txt", report.TableI); err != nil {
+			return err
+		}
+		return emit(outDir, "table1.svg", report.TableISVG)
+
+	case "fig1":
+		if _, err := fmt.Fprintln(stdout, "Figure 1 is the pattern illustration; written as fig1.svg (use -out)."); err != nil {
+			return err
+		}
+		return emit(outDir, "fig1.svg", report.Fig1SVG)
+
+	case "fig2":
+		r, err := experiments.Fig2(opt)
+		if err != nil {
+			return err
+		}
+		if err := report.Fig2(stdout, r); err != nil {
+			return err
+		}
+		if err := emit(outDir, "fig2.txt", func(w io.Writer) error { return report.Fig2(w, r) }); err != nil {
+			return err
+		}
+		if err := emit(outDir, "fig2.csv", func(w io.Writer) error {
+			return report.CellsCSV(w, r.Systems, r.Techniques, r.Cells)
+		}); err != nil {
+			return err
+		}
+		return emit(outDir, "fig2.svg", func(w io.Writer) error { return report.Fig2SVG(w, r) })
+
+	case "fig3":
+		r, err := experiments.Fig3(opt)
+		if err != nil {
+			return err
+		}
+		if err := report.Fig3(stdout, r); err != nil {
+			return err
+		}
+		if err := emit(outDir, "fig3.txt", func(w io.Writer) error { return report.Fig3(w, r) }); err != nil {
+			return err
+		}
+		return emit(outDir, "fig3.svg", func(w io.Writer) error { return report.Fig3SVG(w, r) })
+
+	case "fig4":
+		r, err := experiments.Fig4(opt)
+		if err != nil {
+			return err
+		}
+		*sharedFig4 = r
+		title := "Figure 4 — 1440-minute application on the exascale grid"
+		if err := report.Fig4(stdout, r, title); err != nil {
+			return err
+		}
+		if err := emit(outDir, "fig4.txt", func(w io.Writer) error { return report.Fig4(w, r, title) }); err != nil {
+			return err
+		}
+		if err := emit(outDir, "fig4.csv", func(w io.Writer) error {
+			return report.CellsCSV(w, scenarioLabels(r), r.Techniques, r.Cells)
+		}); err != nil {
+			return err
+		}
+		return emit(outDir, "fig4.svg", func(w io.Writer) error { return report.Fig4SVG(w, r, title) })
+
+	case "fig5":
+		r, err := experiments.Fig5(opt)
+		if err != nil {
+			return err
+		}
+		if err := report.Fig5(stdout, r); err != nil {
+			return err
+		}
+		if err := emit(outDir, "fig5.txt", func(w io.Writer) error { return report.Fig5(w, r) }); err != nil {
+			return err
+		}
+		return emit(outDir, "fig5.svg", func(w io.Writer) error { return report.Fig5SVG(w, r) })
+
+	case "fig6":
+		var r *experiments.Fig6Result
+		var err error
+		if *sharedFig4 != nil {
+			r, err = experiments.Fig6FromFig4(*sharedFig4)
+		} else {
+			r, err = experiments.Fig6(opt)
+		}
+		if err != nil {
+			return err
+		}
+		if err := report.Fig6(stdout, r); err != nil {
+			return err
+		}
+		if err := emit(outDir, "fig6.txt", func(w io.Writer) error { return report.Fig6(w, r) }); err != nil {
+			return err
+		}
+		return emit(outDir, "fig6.svg", func(w io.Writer) error { return report.Fig6SVG(w, r) })
+
+	case "sensitivity":
+		r, err := experiments.Sensitivity(opt, "D4", nil)
+		if err != nil {
+			return err
+		}
+		if err := report.Sensitivity(stdout, r); err != nil {
+			return err
+		}
+		if err := emit(outDir, "sensitivity.txt", func(w io.Writer) error { return report.Sensitivity(w, r) }); err != nil {
+			return err
+		}
+		return emit(outDir, "sensitivity.svg", func(w io.Writer) error { return report.SensitivitySVG(w, r) })
+
+	case "ablation-policy":
+		r, err := experiments.PolicyAblation(opt, nil)
+		if err != nil {
+			return err
+		}
+		if err := report.Ablation(stdout, r); err != nil {
+			return err
+		}
+		return emit(outDir, "ablation-policy.txt", func(w io.Writer) error { return report.Ablation(w, r) })
+
+	case "ablation-async":
+		r, err := experiments.AsyncAblation(opt, nil)
+		if err != nil {
+			return err
+		}
+		if err := report.Ablation(stdout, r); err != nil {
+			return err
+		}
+		return emit(outDir, "ablation-async.txt", func(w io.Writer) error { return report.Ablation(w, r) })
+
+	case "ablation-weibull":
+		r, err := experiments.WeibullAblation(opt, 0.7, nil)
+		if err != nil {
+			return err
+		}
+		if err := report.Ablation(stdout, r); err != nil {
+			return err
+		}
+		return emit(outDir, "ablation-weibull.txt", func(w io.Writer) error { return report.Ablation(w, r) })
+
+	default:
+		return fmt.Errorf("unknown experiment %q", target)
+	}
+}
+
+func scenarioLabels(r *experiments.Fig4Result) []string {
+	out := make([]string, len(r.Scenarios))
+	for i, sc := range r.Scenarios {
+		out[i] = sc.Label()
+	}
+	return out
+}

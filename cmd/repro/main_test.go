@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTable1ToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quiet", "table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"M", "D9", "6944.45"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-quiet", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-quiet"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing experiment accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestFig5SmallWithArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs optimizers and simulations")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-quiet", "-fast", "-trials", "6", "-wall", "25", "-out", dir, "fig5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Welch") {
+		t.Errorf("fig5 output missing Welch table:\n%s", out.String())
+	}
+	for _, name := range []string{"fig5.txt", "fig5.svg"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("artifact %s: %v", name, err)
+			continue
+		}
+		if len(b) == 0 {
+			t.Errorf("artifact %s empty", name)
+		}
+	}
+	if !strings.HasPrefix(readFile(t, filepath.Join(dir, "fig5.svg")), "<svg") {
+		t.Error("fig5.svg is not SVG")
+	}
+}
+
+func TestTable1Artifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quiet", "-out", dir, "table1"}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(readFile(t, filepath.Join(dir, "table1.txt")), "BlueGene") {
+		t.Error("table1.txt missing content")
+	}
+	if !strings.HasPrefix(readFile(t, filepath.Join(dir, "table1.svg")), "<svg") {
+		t.Error("table1.svg is not SVG")
+	}
+}
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestAllTargetsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment at tiny scale")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-quiet", "-fast", "-trials", "2", "-wall", "10", "-out", dir, "all"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"table1.txt", "table1.svg", "fig1.svg",
+		"fig2.txt", "fig2.csv", "fig2.svg",
+		"fig3.txt", "fig3.svg",
+		"fig4.txt", "fig4.csv", "fig4.svg",
+		"fig5.txt", "fig5.svg",
+		"fig6.txt", "fig6.svg",
+	} {
+		if st, err := os.Stat(filepath.Join(dir, name)); err != nil || st.Size() == 0 {
+			t.Errorf("artifact %s missing or empty (%v)", name, err)
+		}
+	}
+}
+
+func TestAblationAndSensitivityTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	for _, target := range []string{"ablation-policy", "ablation-async", "ablation-weibull", "sensitivity"} {
+		var out bytes.Buffer
+		err := run([]string{"-quiet", "-fast", "-trials", "2", "-wall", "10", "-out", dir, target}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", target, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s produced no stdout", target)
+		}
+	}
+}

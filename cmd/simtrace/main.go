@@ -1,0 +1,137 @@
+// Command simtrace runs a single simulated trial with full event tracing
+// and writes the trace as JSON (or a human-readable summary). It is the
+// debugging companion to the campaign-scale repro tool.
+//
+// Usage:
+//
+//	simtrace -system D4 -tau0 1.2 -counts 3 [-levels 1,2] [-json out.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/pattern"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/trace"
+
+	_ "repro/internal/model/dauwe"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "simtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("simtrace", flag.ContinueOnError)
+	sysName := fs.String("system", "D4", "Table I system name")
+	tau0 := fs.Float64("tau0", 0, "computation interval (0 = use the dauwe optimizer)")
+	counts := fs.String("counts", "", "pattern counts N_1..N_{ℓ-1}, comma-separated")
+	levels := fs.String("levels", "", "used levels, comma-separated (default all)")
+	seed := fs.Uint64("seed", 1, "trial seed")
+	jsonPath := fs.String("json", "", "write the full event trace as JSON to this path")
+	maxEvents := fs.Int("print", 25, "print at most this many events to stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sys, err := system.ByName(*sysName)
+	if err != nil {
+		return err
+	}
+	var plan pattern.Plan
+	if *tau0 > 0 {
+		plan = pattern.Plan{Tau0: *tau0}
+		if *levels != "" {
+			plan.Levels, err = parseInts(*levels)
+			if err != nil {
+				return fmt.Errorf("-levels: %w", err)
+			}
+		} else {
+			plan.Levels = pattern.AllLevels(sys)
+		}
+		if *counts != "" {
+			plan.Counts, err = parseInts(*counts)
+			if err != nil {
+				return fmt.Errorf("-counts: %w", err)
+			}
+		} else {
+			plan.Counts = make([]int, len(plan.Levels)-1)
+		}
+	} else {
+		tech, err := model.New("dauwe")
+		if err != nil {
+			return err
+		}
+		plan, _, err = tech.Optimize(sys)
+		if err != nil {
+			return err
+		}
+	}
+	if err := plan.Validate(sys); err != nil {
+		return err
+	}
+
+	rec := &trace.Recorder{}
+	cfg := sim.Config{System: sys, Plan: plan, Observer: rec}
+	res, err := sim.RunTrial(cfg, rng.Campaign(*seed, "simtrace").Trial(0).Rand())
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "system: %s\nplan:   %s\n", sys, plan)
+	fmt.Fprintf(stdout, "wall=%.2fmin completed=%v efficiency=%.4f failures=%v scratch=%d\n",
+		res.WallTime, res.Completed, res.Efficiency, res.Failures, res.ScratchRestarts)
+	b := res.Breakdown
+	fmt.Fprintf(stdout, "breakdown: useful=%.2f lost=%.2f ckptOK=%.2f ckptFail=%.2f restartOK=%.2f restartFail=%.2f\n",
+		b.UsefulCompute, b.LostCompute, b.CheckpointOK, b.CheckpointFail, b.RestartOK, b.RestartFail)
+	counts2 := rec.Counts()
+	fmt.Fprintf(stdout, "events: %d total (%d failures, %d phase ends)\n",
+		len(rec.Records), counts2["failure"], counts2["phase_end"])
+	for i, r := range rec.Records {
+		if i >= *maxEvents {
+			fmt.Fprintf(stdout, "... %d more events\n", len(rec.Records)-i)
+			break
+		}
+		fmt.Fprintf(stdout, "  t=%9.3f %-12s %-10s level=%d progress=%.2f\n",
+			r.Time, r.Kind, r.Phase, r.Level, r.Progress)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.Write(f); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace written to %s\n", *jsonPath)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

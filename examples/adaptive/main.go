@@ -1,0 +1,78 @@
+// Online adaptation: what happens when the failure rates used to
+// optimize checkpoint intervals are wrong? The paper's optimization (and
+// all four baselines) is offline — intervals are fixed from a believed
+// MTBF. This example miscalibrates the belief by 4× on Table I's D4
+// system and compares three deployments over 120 trials each:
+//
+//   - static:   intervals optimized once for the (wrong) belief;
+//
+//   - adaptive: the online controller re-estimates per-severity rates
+//     from observed failures and re-optimizes mid-run;
+//
+//   - oracle:   intervals optimized for the true rates (upper bound).
+//
+//     go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/adaptive"
+	"repro/internal/model/dauwe"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+func main() {
+	truth, err := system.ByName("D4") // MTBF 6 min
+	if err != nil {
+		log.Fatal(err)
+	}
+	belief := truth.WithMTBF(24) // operator thinks failures are 4× rarer
+
+	staticCtl, err := adaptive.NewController(belief, adaptive.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	staticPlan, err := staticCtl.InitialPlan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	oraclePlan, _, err := dauwe.New().Optimize(truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	seed := rng.Campaign(31, "adaptive-example")
+	run := func(label string, cfg sim.Config) {
+		cfg.System = truth
+		res, err := sim.Campaign{Config: cfg, Trials: 120, Seed: seed.Scenario(label)}.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s efficiency %.3f ± %.3f\n", label, res.Efficiency.Mean, res.Efficiency.Std)
+	}
+
+	fmt.Printf("true system:     %s\nbelieved system: MTBF %g min (4× too optimistic)\n\n",
+		truth, belief.MTBF)
+	fmt.Printf("static plan (for belief): %s\noracle plan (for truth):  %s\n\n",
+		staticPlan, oraclePlan)
+	run("static", sim.Config{Plan: staticPlan})
+	run("adaptive", sim.Config{
+		Plan: staticPlan,
+		ControllerFactory: func() sim.PlanController {
+			c, err := adaptive.NewController(belief, adaptive.Options{ReplanEvery: 12})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return c
+		},
+	})
+	run("oracle", sim.Config{Plan: oraclePlan})
+
+	fmt.Println("\nThe controller watches failures arrive 4× faster than believed,")
+	fmt.Println("re-estimates the per-severity rates, and re-optimizes the remaining run")
+	fmt.Println("with the paper's model — closing most of the gap to the oracle.")
+}

@@ -1,0 +1,60 @@
+// Energy study: the runtime/energy trade-off of multilevel
+// checkpointing (the analysis of the paper's reference [19], whose
+// BlueGene/Q system is Table I's row B). Checkpoint I/O draws less power
+// than computation, so the energy-optimal checkpoint intervals differ
+// from the time-optimal ones; this example quantifies the gap on system
+// B and verifies both predictions against simulation.
+//
+//	go run ./examples/energy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/energy"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+func main() {
+	sys, err := system.ByName("B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := energy.Model{
+		Power: energy.Power{ComputeWatts: 350, IOWatts: 90},
+		Nodes: 49152, // Mira's node count
+	}
+	tr, err := energy.Compare(sys, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	seed := rng.Campaign(13, "energy-example")
+	simulate := func(label string, r energy.Result) {
+		res, err := sim.Campaign{
+			Config: sim.Config{System: sys, Plan: r.Plan},
+			Trials: 120,
+			Seed:   seed.Scenario(label),
+		}.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		simJ := m.OfSim(res.MeanBreakdown)
+		fmt.Printf("%-14s %-40s\n", label, r.Plan.String())
+		fmt.Printf("               predicted: %6.1f h, %7.2f MWh   simulated: %6.1f h, %7.2f MWh\n",
+			r.Time.ExpectedTime/60, r.Joules/3.6e9,
+			res.WallTime.Mean/60, simJ/3.6e9)
+	}
+	fmt.Printf("system %s, %d nodes, compute %gW / io %gW per node\n\n",
+		sys.Name, m.Nodes, m.Power.ComputeWatts, m.Power.IOWatts)
+	simulate("time-optimal", tr.TimeOptimal)
+	simulate("energy-optimal", tr.EnergyOptimal)
+
+	dt := tr.EnergyOptimal.Time.ExpectedTime - tr.TimeOptimal.Time.ExpectedTime
+	dj := tr.TimeOptimal.Joules - tr.EnergyOptimal.Joules
+	fmt.Printf("\nenergy-optimal intervals save %.2f MWh for %.1f extra minutes of runtime\n",
+		dj/3.6e9, dt)
+}

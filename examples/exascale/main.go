@@ -1,0 +1,60 @@
+// Exascale study: how far can multilevel checkpointing carry a
+// 24-hour application as the system MTBF shrinks toward the 3-minute
+// worst case and PFS checkpoints grow to 40 minutes? This is a compact
+// version of the paper's Figure 4 sweep, and reproduces its two
+// conclusions: MTBF hurts more than PFS cost, and below ~15-minute MTBF
+// the machine spends most of its time not computing.
+//
+//	go run ./examples/exascale
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/model/dauwe"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+func main() {
+	base, err := system.ByName("B") // the four-level BlueGene/Q Mira system
+	if err != nil {
+		log.Fatal(err)
+	}
+	tech := dauwe.New()
+	seed := rng.Campaign(7, "exascale-example")
+
+	fmt.Println("Efficiency of a 1440-minute application on system B (dauwe-optimized):")
+	fmt.Printf("%10s", "MTBF\\PFS")
+	pfsCosts := []float64{10, 40}
+	for _, pfs := range pfsCosts {
+		fmt.Printf("  %8.0fmin", pfs)
+	}
+	fmt.Println()
+
+	for _, mtbf := range []float64{26, 15, 3} {
+		fmt.Printf("%7.0fmin", mtbf)
+		for _, pfs := range pfsCosts {
+			sys := base.WithTopCost(pfs).WithMTBF(mtbf)
+			plan, _, err := tech.Optimize(sys)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sim.Campaign{
+				Config: sim.Config{System: sys, Plan: plan, MaxWallFactor: 120},
+				Trials: 60,
+				Seed:   seed.Scenario(sys.Name),
+			}.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %7.1f%%   ", 100*res.Efficiency.Mean)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nReading the table: dropping MTBF 26→3 min is catastrophic at any PFS cost,")
+	fmt.Println("while growing the PFS cost 10→40 min costs a far smaller slice — the paper's")
+	fmt.Println("Section IV-E conclusion.")
+}

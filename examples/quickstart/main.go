@@ -1,0 +1,67 @@
+// Quickstart: define a failure-prone HPC system, let the paper's model
+// (Dauwe et al.) pick multilevel checkpoint intervals, and check the
+// prediction against the event-driven simulator.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/model/dauwe"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+func main() {
+	// A two-level system: severity-1 failures (83 %) restart from a
+	// fast in-memory checkpoint, severity-2 failures (17 %) need the
+	// parallel file system. One failure every 24 minutes on average —
+	// Table I's D2 test system.
+	sys := &system.System{
+		Name:         "quickstart",
+		MTBF:         24,   // minutes
+		BaselineTime: 1440, // a 24-hour application
+		Levels: []system.Level{
+			{Checkpoint: 0.333, Restart: 0.333, SeverityProb: 0.833},
+			{Checkpoint: 0.833, Restart: 0.833, SeverityProb: 0.167},
+		},
+	}
+	if err := sys.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Optimize checkpoint intervals with the paper's hierarchical
+	// execution-time model.
+	tech := dauwe.New()
+	plan, pred, err := tech.Optimize(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system:          %s\n", sys)
+	fmt.Printf("optimized plan:  %s\n", plan)
+	fmt.Printf("model predicts:  efficiency %.3f (expected run %.0f min for %0.f min of work)\n",
+		pred.Efficiency, pred.ExpectedTime, sys.BaselineTime)
+
+	// Validate against the simulator: 200 randomized trials.
+	camp := sim.Campaign{
+		Config: sim.Config{System: sys, Plan: plan},
+		Trials: 200,
+		Seed:   rng.Campaign(42, "quickstart").Scenario(sys.Name),
+	}
+	res, err := camp.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated:       efficiency %.3f ± %.3f over %d trials (%d completed)\n",
+		res.Efficiency.Mean, res.Efficiency.Std, res.Trials, res.Completed)
+	fmt.Printf("prediction error: %+.4f\n", pred.Efficiency-res.Efficiency.Mean)
+
+	b := res.BreakdownShare
+	fmt.Printf("time breakdown:  useful %.1f%%, lost work %.1f%%, checkpoints %.1f%%+%.1f%%, restarts %.1f%%+%.1f%%\n",
+		100*b.UsefulCompute, 100*b.LostCompute,
+		100*b.CheckpointOK, 100*b.CheckpointFail,
+		100*b.RestartOK, 100*b.RestartFail)
+}

@@ -1,0 +1,77 @@
+// Scaling study: the paper's introductory motivation, made runnable.
+// Blue Waters data showed a 2.2× larger application suffering 20× more
+// failures; an exascale application needs ~100,000 nodes. This example
+// derives SCR-protocol systems from one physical platform spec at
+// increasing node counts — PFS checkpoint time and failure rate both
+// grow with the machine — and tracks how far multilevel checkpointing
+// (optimized by the paper's model) can hold efficiency, compared with
+// traditional single-level checkpoint/restart.
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/sim"
+
+	_ "repro/internal/model/daly"
+	_ "repro/internal/model/dauwe"
+)
+
+func main() {
+	base := hardware.Spec{
+		Name:                "frontier-like",
+		Protocol:            hardware.SCRProtocol,
+		Nodes:               10000,
+		CheckpointGBPerNode: 4,
+		LocalGBPerMin:       600, // node-local burst buffer
+		PartnerGBPerMin:     90,  // partner copy over the fabric
+		XOROverhead:         1.5,
+		PFSGBPerMin:         20000, // shared parallel file system
+		NodeFailuresPerYear: 1.5,
+		BaselineMinutes:     1440,
+	}
+	seed := rng.Campaign(21, "scaling-example")
+
+	fmt.Println("Machine scaling under the SCR protocol (simulated, 60 trials each):")
+	fmt.Printf("%9s  %10s  %9s  %14s  %14s\n",
+		"nodes", "MTBF(min)", "PFS(min)", "multilevel", "single-level")
+	for _, nodes := range []int{10000, 25000, 50000, 100000, 200000} {
+		spec := base.ScaleNodes(nodes)
+		sys, err := spec.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := fmt.Sprintf("%9d  %10.1f  %9.1f", nodes, sys.MTBF,
+			sys.Levels[sys.NumLevels()-1].Checkpoint)
+		for _, techName := range []string{"dauwe", "daly"} {
+			tech, err := model.New(techName)
+			if err != nil {
+				log.Fatal(err)
+			}
+			plan, _, err := tech.Optimize(sys)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sim.Campaign{
+				Config: sim.Config{System: sys, Plan: plan, MaxWallFactor: 100},
+				Trials: 60,
+				Seed:   seed.Scenario(fmt.Sprintf("%d/%s", nodes, techName)),
+			}.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("  %7.1f%% ±%4.1f", 100*res.Efficiency.Mean, 100*res.Efficiency.Std)
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\nMultilevel checkpointing absorbs most of the growth — cheap local and")
+	fmt.Println("partner checkpoints keep recovering the frequent low-severity failures —")
+	fmt.Println("while single-level C/R pays the ballooning PFS cost for every failure,")
+	fmt.Println("which is the paper's case for multilevel protocols at exascale.")
+}

@@ -1,0 +1,69 @@
+// Trade-off ablation: the same failures, different protocol choices.
+// Using the trace record/replay machinery, one fixed failure history is
+// replayed against (a) the optimized multilevel plan, (b) a single-level
+// PFS-only plan, and (c) the multilevel plan under Moody's pessimistic
+// restart-escalation semantics — isolating exactly what each design
+// choice costs when the randomness is held constant.
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/model/dauwe"
+	"repro/internal/pattern"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+func main() {
+	sys, err := system.ByName("D4") // MTBF 6 min, two levels
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, _, err := dauwe.New().Optimize(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seed := rng.Campaign(3, "tradeoff-example")
+
+	// Record one failure history while running the optimized plan.
+	base := sim.Config{System: sys, Plan: plan}
+	res, replays, err := trace.RecordFailures(base, seed.Trial(0).Rand())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded history: %d failures over %.0f simulated minutes\n\n",
+		res.TotalFailures(), res.WallTime)
+	fmt.Printf("%-42s efficiency %.4f (wall %8.1f min)\n",
+		"multilevel plan "+plan.String(), res.Efficiency, res.WallTime)
+
+	// Same failures, PFS-only checkpointing at the same interval.
+	pfsOnly := base
+	pfsOnly.Plan = pattern.Plan{Tau0: plan.Tau0 * 2, Levels: []int{sys.NumLevels()}}
+	r2, err := trace.ReplayFailures(pfsOnly, replays, seed.Trial(1).Rand())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-42s efficiency %.4f (wall %8.1f min)\n",
+		"PFS-only plan "+pfsOnly.Plan.String(), r2.Efficiency, r2.WallTime)
+
+	// Same failures, multilevel plan, escalating restarts.
+	esc := base
+	esc.Policy = sim.EscalatePolicy
+	r3, err := trace.ReplayFailures(esc, replays, seed.Trial(2).Rand())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-42s efficiency %.4f (wall %8.1f min)\n",
+		"multilevel + restart escalation", r3.Efficiency, r3.WallTime)
+
+	fmt.Println("\nWith the failure process held fixed, the multilevel pattern wins by")
+	fmt.Println("recovering cheap failures from cheap checkpoints, and the escalation")
+	fmt.Println("assumption visibly inflates recovery cost — the two effects the paper's")
+	fmt.Println("model accounts for and Moody's overestimates.")
+}

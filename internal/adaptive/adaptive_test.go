@@ -1,0 +1,191 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model/dauwe"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+// truth returns the real system; belief returns what the operator
+// thinks it is (MTBF off by 4×).
+func truth() *system.System {
+	return &system.System{
+		Name: "true", MTBF: 6, BaselineTime: 720,
+		Levels: []system.Level{
+			{Checkpoint: 0.167, Restart: 0.167, SeverityProb: 0.833},
+			{Checkpoint: 0.667, Restart: 0.667, SeverityProb: 0.167},
+		},
+	}
+}
+
+func belief() *system.System {
+	b := truth().Clone()
+	b.MTBF = 24
+	b.Name = "believed"
+	return b
+}
+
+func TestEstimatorConvergesToEmpiricalRate(t *testing.T) {
+	est, err := NewEstimator(belief(), 3*24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initially: posterior = belief.
+	if got, want := est.Rate(1), belief().LevelRate(1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("prior rate = %v, want %v", got, want)
+	}
+	// Feed failures at the TRUE rate for a long window: every 7.2 min a
+	// severity-1 failure (rate 0.1389).
+	now := 0.0
+	for i := 0; i < 2000; i++ {
+		now += 7.2
+		est.Observe(now, 1)
+	}
+	got := est.Rate(1)
+	want := 1 / 7.2
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("posterior rate = %v, want ~%v", got, want)
+	}
+	if est.TotalFailures() != 2000 {
+		t.Fatalf("count = %d", est.TotalFailures())
+	}
+}
+
+func TestEstimatorValidation(t *testing.T) {
+	if _, err := NewEstimator(belief(), 0); err == nil {
+		t.Fatal("zero prior accepted")
+	}
+	bad := belief()
+	bad.MTBF = -1
+	if _, err := NewEstimator(bad, 10); err == nil {
+		t.Fatal("invalid system accepted")
+	}
+}
+
+func TestEstimatedSystemNormalizes(t *testing.T) {
+	est, _ := NewEstimator(belief(), 10)
+	for i := 0; i < 50; i++ {
+		est.Observe(float64(i+1), 1+i%2)
+	}
+	sys := est.EstimatedSystem(belief(), 500)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.BaselineTime != 500 {
+		t.Fatalf("remaining = %v", sys.BaselineTime)
+	}
+}
+
+func TestControllerReplansAndValidates(t *testing.T) {
+	ctrl, err := NewController(belief(), Options{ReplanEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ctrl.InitialPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{
+		System:     truth(),
+		Plan:       plan,
+		Controller: ctrl,
+	}
+	res, err := sim.RunTrial(cfg, rng.Campaign(1, "adaptive").Trial(0).Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("adaptive trial did not complete")
+	}
+	if ctrl.Replans() == 0 {
+		t.Fatal("controller never replanned despite 4× rate misbelief")
+	}
+	// After the run the estimated severity-1 rate must be much closer
+	// to the truth (0.1389) than the belief (0.0347).
+	got := ctrl.Estimator().Rate(1)
+	trueRate := truth().LevelRate(1)
+	believedRate := belief().LevelRate(1)
+	if math.Abs(got-trueRate) > math.Abs(got-believedRate) {
+		t.Fatalf("estimate %v still closer to belief %v than truth %v", got, believedRate, trueRate)
+	}
+}
+
+func TestAdaptiveBeatsMiscalibratedStatic(t *testing.T) {
+	// The headline property: when the believed MTBF is 4× too long,
+	// adapting online recovers a solid share of the oracle gap.
+	tr := truth()
+	static, err := NewController(belief(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticPlan, err := static.InitialPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oraclePlan, _, err := dauwe.New().Optimize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := rng.Campaign(2, "adaptive-cmp")
+	run := func(name string, cfg sim.Config) float64 {
+		camp := sim.Campaign{Config: cfg, Trials: 60, Seed: seed.Scenario(name)}
+		res, err := camp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Efficiency.Mean
+	}
+	effStatic := run("static", sim.Config{System: tr, Plan: staticPlan})
+	effOracle := run("oracle", sim.Config{System: tr, Plan: oraclePlan})
+	effAdaptive := run("adaptive", sim.Config{
+		System: tr,
+		Plan:   staticPlan,
+		ControllerFactory: func() sim.PlanController {
+			c, err := NewController(belief(), Options{ReplanEvery: 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		},
+	})
+	if !(effOracle > effStatic) {
+		t.Fatalf("oracle %v should beat miscalibrated static %v", effOracle, effStatic)
+	}
+	if !(effAdaptive > effStatic) {
+		t.Fatalf("adaptive %v should beat static %v", effAdaptive, effStatic)
+	}
+	// Recover at least half of the gap.
+	if (effAdaptive-effStatic)/(effOracle-effStatic) < 0.5 {
+		t.Fatalf("adaptive recovered too little: static %v adaptive %v oracle %v",
+			effStatic, effAdaptive, effOracle)
+	}
+}
+
+func TestControllerOptionsDefaults(t *testing.T) {
+	c, err := NewController(belief(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ReplanEvery != 16 || c.MinRemaining != 1 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if _, err := NewController(nil, Options{}); err == nil {
+		t.Fatal("nil system accepted")
+	}
+}
+
+func TestCampaignRejectsSharedController(t *testing.T) {
+	ctrl, _ := NewController(belief(), Options{})
+	plan, _ := ctrl.InitialPlan()
+	camp := sim.Campaign{
+		Config: sim.Config{System: truth(), Plan: plan, Controller: ctrl},
+		Trials: 2,
+	}
+	if _, err := camp.Run(); err == nil {
+		t.Fatal("campaign accepted a shared stateful controller")
+	}
+}

@@ -1,0 +1,391 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	return d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestFailProbBasics(t *testing.T) {
+	if got := FailProb(0, 1); got != 0 {
+		t.Errorf("P(0,1) = %v, want 0", got)
+	}
+	if got := FailProb(-1, 1); got != 0 {
+		t.Errorf("P(-1,1) = %v, want 0", got)
+	}
+	if got := FailProb(1, 0); got != 0 {
+		t.Errorf("P(1,0) = %v, want 0", got)
+	}
+	if got := FailProb(math.Log(2), 1); !almost(got, 0.5, 1e-12) {
+		t.Errorf("P(ln2,1) = %v, want 0.5", got)
+	}
+	if got := FailProb(1e9, 1); !almost(got, 1, 1e-12) {
+		t.Errorf("P(1e9,1) = %v, want 1", got)
+	}
+}
+
+func TestFailProbMatchesNaiveForm(t *testing.T) {
+	for _, tc := range []struct{ t, x float64 }{
+		{1, 0.5}, {3.13, 1.0 / 3.13}, {1440, 1.0 / 6944.45}, {0.008, 12},
+	} {
+		want := 1 - math.Exp(-tc.x*tc.t)
+		if got := FailProb(tc.t, tc.x); !almost(got, want, 1e-13) {
+			t.Errorf("P(%v,%v) = %v, want %v", tc.t, tc.x, got, want)
+		}
+	}
+}
+
+func TestSurviveComplement(t *testing.T) {
+	f := func(tRaw, xRaw float64) bool {
+		tt := math.Mod(math.Abs(tRaw), 1e4) + 1e-6
+		x := math.Mod(math.Abs(xRaw), 10) + 1e-6
+		return almost(FailProb(tt, x)+SurviveProb(tt, x), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncExpClosedForm(t *testing.T) {
+	// Direct evaluation of paper Eqn. 2 at moderate X*t.
+	tt, x := 10.0, 0.2
+	p := 1 - math.Exp(-x*tt)
+	want := (1/x - math.Exp(-x*tt)*(1/x+tt)) / p
+	if got := TruncExp(tt, x); !almost(got, want, 1e-12) {
+		t.Errorf("E(%v,%v) = %v, want %v", tt, x, got, want)
+	}
+}
+
+func TestTruncExpLimits(t *testing.T) {
+	// Small X*t: conditional strike position tends to t/2.
+	if got := TruncExp(1e-6, 1e-6); !almost(got, 5e-7, 1e-6) {
+		t.Errorf("small-x TruncExp = %v, want ~5e-7", got)
+	}
+	// Large X*t: tends to the unconditional mean 1/X.
+	if got := TruncExp(1e9, 0.5); !almost(got, 2, 1e-9) {
+		t.Errorf("large-x TruncExp = %v, want ~2", got)
+	}
+	if got := TruncExp(0, 1); got != 0 {
+		t.Errorf("TruncExp(0,1) = %v, want 0", got)
+	}
+}
+
+func TestTruncExpBounds(t *testing.T) {
+	// 0 < E(t,X) < min(t, 1/X) for all positive t, X; E increases with t.
+	f := func(tRaw, xRaw float64) bool {
+		tt := math.Mod(math.Abs(tRaw), 1e5) + 1e-9
+		x := math.Mod(math.Abs(xRaw), 100) + 1e-9
+		e := TruncExp(tt, x)
+		if !(e > 0) || e >= tt || e > 1/x {
+			return false
+		}
+		return TruncExp(tt*2, x) >= e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncExpContinuityAcrossSeriesSwitch(t *testing.T) {
+	// The series branch at x < 1e-8 must agree with the closed form.
+	x := 1e-3
+	tBelow := 0.9e-8 / x
+	tAbove := 1.1e-8 / x
+	if !almost(TruncExp(tBelow, x)/tBelow, TruncExp(tAbove, x)/tAbove, 1e-6) {
+		t.Errorf("discontinuity across series switch: %v vs %v",
+			TruncExp(tBelow, x)/tBelow, TruncExp(tAbove, x)/tAbove)
+	}
+}
+
+func TestRetryCount(t *testing.T) {
+	// P/(1-P) with P = 1-exp(-xt) equals exp(xt)-1.
+	tt, x := 5.0, 0.3
+	p := FailProb(tt, x)
+	want := p / (1 - p)
+	if got := RetryCount(tt, x); !almost(got, want, 1e-12) {
+		t.Errorf("RetryCount = %v, want %v", got, want)
+	}
+	if got := RetryCount(0, 1); got != 0 {
+		t.Errorf("RetryCount(0,1) = %v, want 0", got)
+	}
+}
+
+func TestNewExponentialValidation(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := NewExponential(bad); err == nil {
+			t.Errorf("NewExponential(%v) accepted", bad)
+		}
+	}
+	e, err := NewExponential(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MTBF() != 4 || e.Rate() != 0.25 || e.Mean() != 4 {
+		t.Errorf("exponential accessors wrong: %+v", e)
+	}
+}
+
+func TestExponentialQuantileRoundTrip(t *testing.T) {
+	e, _ := NewExponential(0.1)
+	for _, p := range []float64{0, 0.1, 0.5, 0.9, 0.999} {
+		q, err := e.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(e.CDF(q), p, 1e-12) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, e.CDF(q))
+		}
+	}
+	if _, err := e.Quantile(1); err == nil {
+		t.Error("Quantile(1) accepted")
+	}
+	if _, err := e.Quantile(-0.1); err == nil {
+		t.Error("Quantile(-0.1) accepted")
+	}
+}
+
+func TestCompetingRates(t *testing.T) {
+	c, err := NewCompeting([]float64{0.5, 0.3, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Classes() != 3 || !almost(c.Total(), 1.0, 1e-12) {
+		t.Fatalf("bad competing set: %+v", c)
+	}
+	if !almost(c.Share(1), 0.3, 1e-12) {
+		t.Errorf("Share(1) = %v", c.Share(1))
+	}
+	if !almost(c.PrefixRate(1), 0.8, 1e-12) {
+		t.Errorf("PrefixRate(1) = %v", c.PrefixRate(1))
+	}
+	if !almost(c.PrefixRate(99), 1.0, 1e-12) {
+		t.Errorf("PrefixRate clamps high: %v", c.PrefixRate(99))
+	}
+	if got := c.PrefixRate(-1); got != 0 {
+		t.Errorf("PrefixRate(-1) = %v", got)
+	}
+	if !almost(c.SuffixRate(0), 0.5, 1e-12) {
+		t.Errorf("SuffixRate(0) = %v", c.SuffixRate(0))
+	}
+	if got := c.SuffixRate(2); got != 0 {
+		t.Errorf("SuffixRate(last) = %v", got)
+	}
+}
+
+func TestCompetingValidation(t *testing.T) {
+	if _, err := NewCompeting(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := NewCompeting([]float64{0, 0}); err == nil {
+		t.Error("all-zero set accepted")
+	}
+	if _, err := NewCompeting([]float64{1, -1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewCompeting([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN rate accepted")
+	}
+	if c, err := NewCompeting([]float64{0, 1}); err != nil || c.Share(0) != 0 {
+		t.Errorf("zero class should be allowed: %v %v", c, err)
+	}
+}
+
+func TestFirstFailureSplit(t *testing.T) {
+	c, _ := NewCompeting([]float64{0.2, 0.6, 0.2})
+	pAny, split := c.FirstFailureSplit(3)
+	if !almost(pAny, FailProb(3, 1.0), 1e-12) {
+		t.Errorf("pAny = %v", pAny)
+	}
+	var sum float64
+	for _, p := range split {
+		sum += p
+	}
+	if !almost(sum, 1, 1e-12) {
+		t.Errorf("split does not sum to 1: %v", split)
+	}
+	if !almost(split[1], 0.6, 1e-12) {
+		t.Errorf("split[1] = %v", split[1])
+	}
+}
+
+func TestCompetingSharesSumToOne(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		rates := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		cr, err := NewCompeting(rates)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for i := 0; i < cr.Classes(); i++ {
+			sum += cr.Share(i)
+		}
+		return almost(sum, 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeibullReducesToExponential(t *testing.T) {
+	w, err := NewWeibull(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewExponential(0.1)
+	for _, tt := range []float64{0.5, 1, 5, 20, 100} {
+		if !almost(w.CDF(tt), e.CDF(tt), 1e-12) {
+			t.Errorf("weibull(k=1) CDF(%v) = %v, exp = %v", tt, w.CDF(tt), e.CDF(tt))
+		}
+	}
+	if !almost(w.Mean(), 10, 1e-12) {
+		t.Errorf("weibull mean = %v", w.Mean())
+	}
+	if !almost(w.HazardAt(123), 0.1, 1e-12) {
+		t.Errorf("weibull k=1 hazard = %v", w.HazardAt(123))
+	}
+}
+
+func TestWeibullValidationAndShape(t *testing.T) {
+	if _, err := NewWeibull(0, 1); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := NewWeibull(1, 0); err == nil {
+		t.Error("zero shape accepted")
+	}
+	w, _ := NewWeibull(10, 0.7)
+	// Infant mortality: hazard decreasing, infinite at 0.
+	if !math.IsInf(w.HazardAt(0), 1) {
+		t.Error("k<1 hazard at 0 should be +inf")
+	}
+	if !(w.HazardAt(1) > w.HazardAt(10)) {
+		t.Error("k<1 hazard should decrease")
+	}
+	w2, _ := NewWeibull(10, 2)
+	if w2.HazardAt(0) != 0 || !(w2.HazardAt(10) > w2.HazardAt(1)) {
+		t.Error("k>1 hazard should increase from 0")
+	}
+	if w.Scale() != 10 || w.Shape() != 0.7 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestWeibullQuantileRoundTrip(t *testing.T) {
+	w, _ := NewWeibull(33, 1.5)
+	for _, p := range []float64{0, 0.25, 0.5, 0.99} {
+		q, err := w.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(w.CDF(q), p, 1e-12) {
+			t.Errorf("weibull CDF(Quantile(%v)) = %v", p, w.CDF(q))
+		}
+	}
+	if _, err := w.Quantile(1.5); err == nil {
+		t.Error("bad quantile accepted")
+	}
+}
+
+func TestExponentialSampleMean(t *testing.T) {
+	e, _ := NewExponential(0.5)
+	src := rand.New(rand.NewPCG(1, 2))
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := e.Sample(src)
+		if v < 0 {
+			t.Fatalf("negative sample %v", v)
+		}
+		sum += v
+	}
+	if got := sum / n; !almost(got, 2.0, 0.02) {
+		t.Errorf("sample mean = %v, want ~2", got)
+	}
+}
+
+func TestWeibullSampleMean(t *testing.T) {
+	w, _ := NewWeibull(10, 2)
+	src := rand.New(rand.NewPCG(3, 4))
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += w.Sample(src)
+	}
+	if got, want := sum/n, w.Mean(); !almost(got, want, 0.02) {
+		t.Errorf("weibull sample mean = %v, want ~%v", got, want)
+	}
+}
+
+func TestSeverityPicker(t *testing.T) {
+	c, _ := NewCompeting([]float64{3, 1})
+	p := NewSeverityPicker(c)
+	if p.Classes() != 2 {
+		t.Fatalf("classes = %d", p.Classes())
+	}
+	src := rand.New(rand.NewPCG(5, 6))
+	counts := [2]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[p.Pick(src)]++
+	}
+	if got := float64(counts[0]) / n; !almost(got, 0.75, 0.02) {
+		t.Errorf("class-0 share = %v, want ~0.75", got)
+	}
+}
+
+func TestMixtureSamplerFirst(t *testing.T) {
+	e1, _ := NewExponential(1)    // mean 1
+	e2, _ := NewExponential(1e-4) // mean 10000
+	m, err := NewMixtureSampler([]Sampler{e1, e2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rand.New(rand.NewPCG(7, 8))
+	fastWins := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		_, class := m.SampleFirst(src)
+		if class == 0 {
+			fastWins++
+		}
+	}
+	if got := float64(fastWins) / n; got < 0.99 {
+		t.Errorf("fast law should almost always win: %v", got)
+	}
+	if _, err := NewMixtureSampler(nil); err == nil {
+		t.Error("empty mixture accepted")
+	}
+}
+
+func TestTruncExpMonteCarloAgreement(t *testing.T) {
+	// The truncated expectation must match the empirical mean strike
+	// position of exponential arrivals conditioned to land within [0,t].
+	e, _ := NewExponential(0.2)
+	const tt = 4.0
+	src := rand.New(rand.NewPCG(9, 10))
+	var sum float64
+	var n int
+	for i := 0; i < 400000; i++ {
+		v := e.Sample(src)
+		if v <= tt {
+			sum += v
+			n++
+		}
+	}
+	got := sum / float64(n)
+	want := TruncExp(tt, 0.2)
+	if !almost(got, want, 0.01) {
+		t.Errorf("monte-carlo truncated mean = %v, analytic = %v", got, want)
+	}
+}

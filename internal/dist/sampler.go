@@ -1,0 +1,100 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Sampler draws failure inter-arrival times. Both Exponential and Weibull
+// laws satisfy it, as does any custom law a caller wants to inject into
+// the simulator.
+type Sampler interface {
+	// Sample draws one inter-arrival time in minutes using src.
+	Sample(src *rand.Rand) float64
+	// Mean returns the unconditional mean inter-arrival time.
+	Mean() float64
+}
+
+// Sample draws an exponential inter-arrival time.
+func (e Exponential) Sample(src *rand.Rand) float64 {
+	return e.sampleAt(src.Float64())
+}
+
+func (e Exponential) sampleAt(u float64) float64 {
+	// Guard against u == 1 producing -log(0).
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log1p(-u) / e.rate
+}
+
+// Sample draws a Weibull inter-arrival time.
+func (w Weibull) Sample(src *rand.Rand) float64 {
+	u := src.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return w.scale * math.Pow(-math.Log1p(-u), 1/w.shape)
+}
+
+// SeverityPicker samples the severity class of a failure given the
+// competing-risk shares. Classes are returned 0-based.
+type SeverityPicker struct {
+	cum []float64
+}
+
+// NewSeverityPicker precomputes the cumulative class distribution of a
+// competing-risk set.
+func NewSeverityPicker(c *CompetingRates) *SeverityPicker {
+	cum := make([]float64, c.Classes())
+	var acc float64
+	for i := 0; i < c.Classes(); i++ {
+		acc += c.Share(i)
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1 // absorb FP residue
+	return &SeverityPicker{cum: cum}
+}
+
+// Pick samples a 0-based severity class.
+func (p *SeverityPicker) Pick(src *rand.Rand) int {
+	u := src.Float64()
+	for i, c := range p.cum {
+		if u <= c {
+			return i
+		}
+	}
+	return len(p.cum) - 1
+}
+
+// Classes returns the number of severity classes the picker covers.
+func (p *SeverityPicker) Classes() int { return len(p.cum) }
+
+// MixtureSampler races several independent samplers and reports which one
+// fired first. It generalizes the competing exponential processes to
+// arbitrary laws (used for the Weibull ablation).
+type MixtureSampler struct {
+	laws []Sampler
+}
+
+// NewMixtureSampler builds a racing sampler over one law per severity
+// class.
+func NewMixtureSampler(laws []Sampler) (*MixtureSampler, error) {
+	if len(laws) == 0 {
+		return nil, fmt.Errorf("dist: mixture sampler needs at least one law")
+	}
+	return &MixtureSampler{laws: append([]Sampler(nil), laws...)}, nil
+}
+
+// SampleFirst draws one arrival from each law and returns the earliest
+// time along with the 0-based index of the law that produced it.
+func (m *MixtureSampler) SampleFirst(src *rand.Rand) (t float64, class int) {
+	t = math.Inf(1)
+	for i, l := range m.laws {
+		if v := l.Sample(src); v < t {
+			t, class = v, i
+		}
+	}
+	return t, class
+}

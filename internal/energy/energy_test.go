@@ -1,0 +1,154 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model/dauwe"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+func sys2() *system.System {
+	return &system.System{
+		Name: "e2", MTBF: 24, BaselineTime: 1440,
+		Levels: []system.Level{
+			{Checkpoint: 0.333, Restart: 0.333, SeverityProb: 0.833},
+			{Checkpoint: 0.833, Restart: 0.833, SeverityProb: 0.167},
+		},
+	}
+}
+
+func mdl() Model {
+	return Model{Power: Power{ComputeWatts: 300, IOWatts: 120}, Nodes: 1000}
+}
+
+func TestOfSimArithmetic(t *testing.T) {
+	b := sim.Breakdown{
+		UsefulCompute: 10, LostCompute: 2,
+		CheckpointOK: 1, CheckpointFail: 0.5, RestartOK: 0.3, RestartFail: 0.2,
+	}
+	got := mdl().OfSim(b)
+	want := (12*60*300 + 2*60*120) * 1000.0
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("energy = %v, want %v", got, want)
+	}
+}
+
+func TestOfPredictionMatchesOfSimShape(t *testing.T) {
+	b := dauwe.Breakdown{
+		Compute: 10, Recompute: 2,
+		CheckpointOK: 1, CheckpointFail: 0.5, RestartOK: 0.3, RestartFail: 0.2,
+	}
+	s := sim.Breakdown{
+		UsefulCompute: 10, LostCompute: 2,
+		CheckpointOK: 1, CheckpointFail: 0.5, RestartOK: 0.3, RestartFail: 0.2,
+	}
+	if got, want := mdl().OfPrediction(b), mdl().OfSim(s); got != want {
+		t.Fatalf("prediction energy %v != sim energy %v for identical breakdowns", got, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := (Model{Power: Power{ComputeWatts: 1, IOWatts: 1}, Nodes: 0}).Validate(); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if err := (Model{Power: Power{ComputeWatts: 0, IOWatts: 1}, Nodes: 1}).Validate(); err == nil {
+		t.Error("zero compute watts accepted")
+	}
+	if _, err := (&Optimizer{Model: Model{}}).Optimize(sys2()); err == nil {
+		t.Error("invalid model accepted")
+	}
+	bad := sys2()
+	bad.MTBF = -1
+	if _, err := (&Optimizer{Model: mdl()}).Optimize(bad); err == nil {
+		t.Error("invalid system accepted")
+	}
+	if _, err := Compare(bad, mdl()); err == nil {
+		t.Error("Compare accepted invalid system")
+	}
+	if _, err := Compare(sys2(), Model{}); err == nil {
+		t.Error("Compare accepted invalid model")
+	}
+}
+
+func TestEnergyOptimalUsesAtLeastAsMuchCheckpointing(t *testing.T) {
+	// With I/O much cheaper than computation, the energy-optimal plan
+	// should checkpoint at least as aggressively (τ0 no longer) as the
+	// time-optimal one: re-executed compute minutes cost more energy
+	// than checkpoint minutes.
+	m := Model{Power: Power{ComputeWatts: 400, IOWatts: 40}, Nodes: 1000}
+	tr, err := Compare(sys2(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.EnergyOptimal.Plan.Tau0 > tr.TimeOptimal.Plan.Tau0*1.05 {
+		t.Fatalf("energy-optimal τ0 %v longer than time-optimal %v despite cheap IO",
+			tr.EnergyOptimal.Plan.Tau0, tr.TimeOptimal.Plan.Tau0)
+	}
+	// Energy-optimal must not predict more energy than time-optimal.
+	if tr.EnergyOptimal.Joules > tr.TimeOptimal.Joules*(1+1e-9) {
+		t.Fatalf("energy optimum %v worse than time optimum %v",
+			tr.EnergyOptimal.Joules, tr.TimeOptimal.Joules)
+	}
+	// And the time-optimal plan must not be slower than the
+	// energy-optimal one.
+	if tr.TimeOptimal.Time.ExpectedTime > tr.EnergyOptimal.Time.ExpectedTime*(1+1e-9) {
+		t.Fatalf("time optimum %v slower than energy optimum %v",
+			tr.TimeOptimal.Time.ExpectedTime, tr.EnergyOptimal.Time.ExpectedTime)
+	}
+}
+
+func TestEqualPowerMakesObjectivesAgree(t *testing.T) {
+	// With identical power in all states, energy ∝ time: both optima
+	// coincide (up to grid resolution).
+	m := Model{Power: Power{ComputeWatts: 250, IOWatts: 250}, Nodes: 10}
+	tr, err := Compare(sys2(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relT := math.Abs(tr.EnergyOptimal.Time.ExpectedTime-tr.TimeOptimal.Time.ExpectedTime) /
+		tr.TimeOptimal.Time.ExpectedTime
+	if relT > 0.01 {
+		t.Fatalf("equal-power optima diverge: %v vs %v",
+			tr.EnergyOptimal.Time.ExpectedTime, tr.TimeOptimal.Time.ExpectedTime)
+	}
+}
+
+func TestEnergyDelayObjective(t *testing.T) {
+	o := &Optimizer{Model: mdl(), Objective: MinEnergyDelay}
+	res, err := o.Optimize(sys2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(sys2()); err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Joules > 0) || !(res.Time.Efficiency > 0.5) {
+		t.Fatalf("implausible EDP result: %+v", res)
+	}
+}
+
+func TestEnergyAgainstSimulation(t *testing.T) {
+	// Predicted energy of the time-optimal plan should land near the
+	// simulated energy.
+	m := mdl()
+	tr, err := Compare(sys2(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp := sim.Campaign{
+		Config: sim.Config{System: sys2(), Plan: tr.TimeOptimal.Plan},
+		Trials: 100,
+	}
+	res, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	simJ := m.OfSim(res.MeanBreakdown)
+	rel := math.Abs(simJ-tr.TimeOptimal.Joules) / simJ
+	if rel > 0.05 {
+		t.Fatalf("predicted energy %v vs simulated %v (rel %.3f)",
+			tr.TimeOptimal.Joules, simJ, rel)
+	}
+}

@@ -1,0 +1,138 @@
+// Package eventq implements the time-ordered event queue at the heart of
+// the event-driven HPC resilience simulator: a binary min-heap keyed on
+// simulated time, with stable FIFO ordering for events scheduled at the
+// same instant and O(log n) cancellation by handle.
+package eventq
+
+import "errors"
+
+// ErrEmpty is returned by Pop on an empty queue.
+var ErrEmpty = errors.New("eventq: empty queue")
+
+// Event is a scheduled occurrence in simulated time.
+type Event struct {
+	Time    float64 // simulated minutes
+	Kind    int     // caller-defined discriminator
+	Payload any     // caller-defined data
+
+	seq   uint64 // tie-break: FIFO among equal times
+	index int    // heap position, -1 once removed
+}
+
+// Handle cancels a scheduled event. Handles are single-use.
+type Handle struct{ ev *Event }
+
+// Queue is a time-ordered event queue. The zero value is ready to use.
+// Queue is not safe for concurrent use; the simulator drives one queue
+// per trial from a single goroutine.
+type Queue struct {
+	heap []*Event
+	seq  uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Schedule inserts an event and returns a handle that can cancel it.
+func (q *Queue) Schedule(t float64, kind int, payload any) Handle {
+	ev := &Event{Time: t, Kind: kind, Payload: payload, seq: q.seq}
+	q.seq++
+	ev.index = len(q.heap)
+	q.heap = append(q.heap, ev)
+	q.up(ev.index)
+	return Handle{ev: ev}
+}
+
+// Peek returns the earliest pending event without removing it. ok is
+// false if the queue is empty.
+func (q *Queue) Peek() (ev *Event, ok bool) {
+	if len(q.heap) == 0 {
+		return nil, false
+	}
+	return q.heap[0], true
+}
+
+// Pop removes and returns the earliest pending event.
+func (q *Queue) Pop() (*Event, error) {
+	if len(q.heap) == 0 {
+		return nil, ErrEmpty
+	}
+	ev := q.heap[0]
+	q.removeAt(0)
+	return ev, nil
+}
+
+// Cancel removes a scheduled event. It reports whether the event was
+// still pending (false if already popped or cancelled).
+func (q *Queue) Cancel(h Handle) bool {
+	if h.ev == nil || h.ev.index < 0 {
+		return false
+	}
+	q.removeAt(h.ev.index)
+	return true
+}
+
+// Reset discards all pending events but keeps allocated capacity.
+func (q *Queue) Reset() {
+	for _, ev := range q.heap {
+		ev.index = -1
+	}
+	q.heap = q.heap[:0]
+}
+
+func (q *Queue) removeAt(i int) {
+	last := len(q.heap) - 1
+	ev := q.heap[i]
+	q.heap[i] = q.heap[last]
+	q.heap[i].index = i
+	q.heap = q.heap[:last]
+	ev.index = -1
+	if i < last {
+		q.down(i)
+		q.up(i)
+	}
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,194 @@
+package eventq
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func drain(t *testing.T, q *Queue) []float64 {
+	t.Helper()
+	var out []float64
+	for q.Len() > 0 {
+		ev, err := q.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ev.Time)
+	}
+	return out
+}
+
+func TestPopOrder(t *testing.T) {
+	var q Queue
+	for _, tm := range []float64{5, 1, 4, 2, 3} {
+		q.Schedule(tm, 0, nil)
+	}
+	got := drain(t, &q)
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestEmptyPop(t *testing.T) {
+	var q Queue
+	if _, err := q.Pop(); err != ErrEmpty {
+		t.Fatalf("Pop on empty = %v, want ErrEmpty", err)
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty reported ok")
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Schedule(7.5, i, nil)
+	}
+	for i := 0; i < 10; i++ {
+		ev, err := q.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind != i {
+			t.Fatalf("tie-break not FIFO: got kind %d at pop %d", ev.Kind, i)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	q.Schedule(1, 1, nil)
+	h := q.Schedule(2, 2, nil)
+	q.Schedule(3, 3, nil)
+	if !q.Cancel(h) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if q.Cancel(h) {
+		t.Fatal("double Cancel returned true")
+	}
+	got := drain(t, &q)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("after cancel: %v", got)
+	}
+}
+
+func TestCancelHead(t *testing.T) {
+	var q Queue
+	h := q.Schedule(1, 0, nil)
+	q.Schedule(2, 0, nil)
+	if !q.Cancel(h) {
+		t.Fatal("cancel head failed")
+	}
+	ev, _ := q.Pop()
+	if ev.Time != 2 {
+		t.Fatalf("head after cancel = %v", ev.Time)
+	}
+}
+
+func TestCancelPoppedEvent(t *testing.T) {
+	var q Queue
+	h := q.Schedule(1, 0, nil)
+	if _, err := q.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Cancel(h) {
+		t.Fatal("cancel of popped event returned true")
+	}
+	if q.Cancel(Handle{}) {
+		t.Fatal("cancel of zero handle returned true")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var q Queue
+	h := q.Schedule(1, 0, nil)
+	q.Schedule(2, 0, nil)
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("len after reset = %d", q.Len())
+	}
+	if q.Cancel(h) {
+		t.Fatal("cancel after reset returned true")
+	}
+	q.Schedule(9, 0, nil)
+	if got := drain(t, &q); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("queue unusable after reset: %v", got)
+	}
+}
+
+func TestPayloadAndKindPreserved(t *testing.T) {
+	var q Queue
+	type payload struct{ s string }
+	q.Schedule(1, 42, &payload{s: "hello"})
+	ev, _ := q.Pop()
+	if ev.Kind != 42 || ev.Payload.(*payload).s != "hello" {
+		t.Fatalf("payload/kind mangled: %+v", ev)
+	}
+}
+
+func TestHeapPropertyRandomized(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		src := rand.New(rand.NewPCG(seed, 1))
+		var q Queue
+		want := make([]float64, 0, n)
+		for i := 0; i < int(n); i++ {
+			tm := src.Float64() * 1000
+			q.Schedule(tm, 0, nil)
+			want = append(want, tm)
+		}
+		sort.Float64s(want)
+		for i := 0; i < len(want); i++ {
+			ev, err := q.Pop()
+			if err != nil || ev.Time != want[i] {
+				return false
+			}
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedScheduleCancelPop(t *testing.T) {
+	src := rand.New(rand.NewPCG(11, 12))
+	var q Queue
+	var handles []Handle
+	live := map[*Event]bool{}
+	for step := 0; step < 5000; step++ {
+		switch op := src.IntN(3); {
+		case op == 0 || q.Len() == 0:
+			h := q.Schedule(src.Float64()*100, 0, nil)
+			handles = append(handles, h)
+			live[h.ev] = true
+		case op == 1:
+			ev, err := q.Pop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !live[ev] {
+				t.Fatal("popped dead event")
+			}
+			delete(live, ev)
+			// Verify heap head is still >= popped time.
+			if head, ok := q.Peek(); ok && head.Time < ev.Time {
+				t.Fatalf("order violated: popped %v then head %v", ev.Time, head.Time)
+			}
+		default:
+			h := handles[src.IntN(len(handles))]
+			was := live[h.ev]
+			got := q.Cancel(h)
+			if got != was {
+				t.Fatalf("cancel=%v but live=%v", got, was)
+			}
+			delete(live, h.ev)
+		}
+		if q.Len() != len(live) {
+			t.Fatalf("len mismatch: q=%d live=%d", q.Len(), len(live))
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/system"
+)
+
+func TestPolicyAblation(t *testing.T) {
+	opt := testOpts()
+	opt.Fast = true
+	r, err := PolicyAblation(opt, []string{"D4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0].System != "D4" {
+		t.Fatalf("rows = %+v", r.Rows)
+	}
+	row := r.Rows[0]
+	// Escalation can only hurt (or tie within noise).
+	if row.Delta() > 0.02 {
+		t.Fatalf("escalation improved efficiency: %+v", row)
+	}
+	if row.Base.Trials != opt.Trials || row.Variant.Trials != opt.Trials {
+		t.Fatalf("trial counts wrong: %d/%d", row.Base.Trials, row.Variant.Trials)
+	}
+}
+
+func TestPolicyAblationDefaultSystems(t *testing.T) {
+	opt := testOpts()
+	opt.Fast = true
+	opt.Trials = 10
+	r, err := PolicyAblation(opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(DefaultAblationSystems) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), len(DefaultAblationSystems))
+	}
+}
+
+func TestWeibullAblation(t *testing.T) {
+	opt := testOpts()
+	opt.Fast = true
+	opt.Trials = 60
+	r, err := WeibullAblation(opt, 0.7, []string{"D4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.Rows[0]
+	// Same mean, different law: both must produce sane efficiencies.
+	if !(row.Base.Efficiency.Mean > 0.3) || !(row.Variant.Efficiency.Mean > 0.1) {
+		t.Fatalf("implausible ablation: %+v vs %+v", row.Base.Efficiency, row.Variant.Efficiency)
+	}
+	// They must actually differ (the law matters).
+	if row.Base.Efficiency.Mean == row.Variant.Efficiency.Mean {
+		t.Fatal("weibull variant identical to exponential")
+	}
+}
+
+func TestWeibullAblationRejectsBadShape(t *testing.T) {
+	if _, err := WeibullAblation(Options{}, 0, nil); err == nil {
+		t.Fatal("shape 0 accepted")
+	}
+	if _, err := WeibullAblation(Options{}, -1, nil); err == nil {
+		t.Fatal("negative shape accepted")
+	}
+}
+
+func TestAblationUnknownSystem(t *testing.T) {
+	if _, err := PolicyAblation(testOpts(), []string{"XX"}); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+	if _, err := WeibullAblation(testOpts(), 0.7, []string{"XX"}); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+func TestWeibullLawsMatchSystemMeans(t *testing.T) {
+	sys, err := system.ByName("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	laws, err := weibullLaws(sys, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(laws) != sys.NumLevels() {
+		t.Fatalf("laws = %d", len(laws))
+	}
+	for sev := 1; sev <= sys.NumLevels(); sev++ {
+		want := 1 / sys.LevelRate(sev)
+		got := laws[sev-1].Mean()
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("severity %d mean %v, want %v", sev, got, want)
+		}
+	}
+}
+
+func TestAsyncAblation(t *testing.T) {
+	opt := testOpts()
+	opt.Fast = true
+	opt.Trials = 80
+	r, err := AsyncAblation(opt, []string{"D5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Async must not hurt (it strictly removes blocking time; the only
+	// cost is occasionally staler top-level checkpoints).
+	if r.Rows[0].Delta() < -0.01 {
+		t.Fatalf("async hurt efficiency: %+v", r.Rows[0])
+	}
+}
+
+func TestAsyncAblationUnknownSystem(t *testing.T) {
+	if _, err := AsyncAblation(testOpts(), []string{"XX"}); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}

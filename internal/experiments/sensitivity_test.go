@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+func TestSensitivitySweep(t *testing.T) {
+	opt := testOpts()
+	opt.Fast = true
+	opt.Trials = 50
+	r, err := Sensitivity(opt, "D2", []float64{0.25, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// The optimum multiplier (1×) must simulate at least as well as the
+	// far-off settings.
+	mid := r.Points[1].Sim.Mean
+	if mid < r.Points[0].Sim.Mean-0.02 || mid < r.Points[2].Sim.Mean-0.02 {
+		t.Fatalf("optimum not best: %+v", r.Points)
+	}
+	// Model predictions must track the simulated curve direction.
+	for _, p := range r.Points {
+		if p.Predicted <= 0 || p.Predicted > 1 {
+			t.Errorf("prediction out of range at ×%g: %v", p.Multiplier, p.Predicted)
+		}
+	}
+	// τ0 actually scaled.
+	if r.Points[0].Tau0 >= r.Points[2].Tau0 {
+		t.Fatal("τ0 not scaled by multipliers")
+	}
+}
+
+func TestSensitivityValidation(t *testing.T) {
+	if _, err := Sensitivity(testOpts(), "XX", nil); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+	if _, err := Sensitivity(testOpts(), "D2", []float64{-1}); err == nil {
+		t.Fatal("negative multiplier accepted")
+	}
+}

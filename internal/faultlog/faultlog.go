@@ -1,0 +1,259 @@
+// Package faultlog ingests failure logs — the raw material behind every
+// Table I row — and fits the failure model the checkpoint optimizers
+// consume: per-severity exponential rates (the paper's assumption) and,
+// for checking that assumption, a maximum-likelihood Weibull fit of the
+// inter-arrival distribution.
+//
+// The expected log format is CSV with two columns, an optional header,
+// times in minutes since the observation window opened:
+//
+//	time_minutes,severity
+//	12.5,1
+//	97.0,1
+//	311.2,3
+package faultlog
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/system"
+)
+
+// Entry is one logged failure.
+type Entry struct {
+	// Time is minutes since the window opened.
+	Time float64
+	// Severity is the 1-based failure severity class.
+	Severity int
+}
+
+// ParseCSV reads a failure log. A first line whose fields do not parse
+// as numbers is treated as a header. Entries are returned sorted by
+// time.
+func ParseCSV(r io.Reader) ([]Entry, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	cr.TrimLeadingSpace = true
+	var out []Entry
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("faultlog: %w", err)
+		}
+		line++
+		t, errT := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64)
+		s, errS := strconv.Atoi(strings.TrimSpace(rec[1]))
+		if errT != nil || errS != nil {
+			if line == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("faultlog: line %d: cannot parse %q", line, rec)
+		}
+		if t < 0 || s < 1 {
+			return nil, fmt.Errorf("faultlog: line %d: invalid entry time=%v severity=%d", line, t, s)
+		}
+		out = append(out, Entry{Time: t, Severity: s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out, nil
+}
+
+// WriteCSV emits entries in the format ParseCSV reads.
+func WriteCSV(w io.Writer, entries []Entry) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_minutes", "severity"}); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := cw.Write([]string{
+			strconv.FormatFloat(e.Time, 'g', -1, 64),
+			strconv.Itoa(e.Severity),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fit is the per-severity exponential fit of a log.
+type Fit struct {
+	// Duration is the observation window in minutes.
+	Duration float64
+	// Counts holds failures per severity (index 0 = severity 1).
+	Counts []int
+	// Rates holds the MLE rates count/duration per severity.
+	Rates []float64
+	// MTBF is 1 / Σ rates.
+	MTBF float64
+}
+
+// Analyze fits per-severity exponential rates. numSeverities bounds the
+// severity classes (entries above it are rejected); duration is the
+// observation window (0 = the last entry's time).
+func Analyze(entries []Entry, numSeverities int, duration float64) (Fit, error) {
+	if len(entries) == 0 {
+		return Fit{}, errors.New("faultlog: empty log")
+	}
+	if numSeverities < 1 {
+		return Fit{}, fmt.Errorf("faultlog: %d severities", numSeverities)
+	}
+	if duration == 0 {
+		duration = entries[len(entries)-1].Time
+	}
+	if !(duration > 0) {
+		return Fit{}, fmt.Errorf("faultlog: window %v must be positive", duration)
+	}
+	f := Fit{Duration: duration, Counts: make([]int, numSeverities)}
+	for _, e := range entries {
+		if e.Severity > numSeverities {
+			return Fit{}, fmt.Errorf("faultlog: severity %d exceeds %d classes", e.Severity, numSeverities)
+		}
+		if e.Time > duration {
+			return Fit{}, fmt.Errorf("faultlog: entry at %v outside window %v", e.Time, duration)
+		}
+		f.Counts[e.Severity-1]++
+	}
+	var total float64
+	f.Rates = make([]float64, numSeverities)
+	for i, c := range f.Counts {
+		f.Rates[i] = float64(c) / duration
+		total += f.Rates[i]
+	}
+	if total <= 0 {
+		return Fit{}, errors.New("faultlog: no failures in window")
+	}
+	f.MTBF = 1 / total
+	return f, nil
+}
+
+// ApplyTo returns a copy of the template system with the fitted MTBF and
+// severity distribution installed. The template supplies the level costs
+// and baseline time; its level count must match the fit.
+func (f Fit) ApplyTo(template *system.System) (*system.System, error) {
+	if template.NumLevels() != len(f.Rates) {
+		return nil, fmt.Errorf("faultlog: fit has %d severities, template %d levels",
+			len(f.Rates), template.NumLevels())
+	}
+	out := template.Clone()
+	out.MTBF = f.MTBF
+	var total float64
+	for _, r := range f.Rates {
+		total += r
+	}
+	for i := range out.Levels {
+		out.Levels[i].SeverityProb = f.Rates[i] / total
+	}
+	out.Name = template.Name + "/fitted"
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Interarrivals converts a (sorted) log into aggregate inter-arrival
+// times, the input for distribution fitting.
+func Interarrivals(entries []Entry) []float64 {
+	out := make([]float64, 0, len(entries))
+	prev := 0.0
+	for _, e := range entries {
+		out = append(out, e.Time-prev)
+		prev = e.Time
+	}
+	return out
+}
+
+// FitWeibull fits a Weibull law to inter-arrival samples by maximum
+// likelihood (Newton on the shape profile equation). A fitted shape near
+// 1 supports the paper's exponential assumption; k < 1 indicates the
+// bursty "infant mortality" regime.
+func FitWeibull(samples []float64) (dist.Weibull, error) {
+	n := len(samples)
+	if n < 3 {
+		return dist.Weibull{}, fmt.Errorf("faultlog: need >= 3 samples, have %d", n)
+	}
+	var meanLog float64
+	for _, x := range samples {
+		if !(x > 0) {
+			return dist.Weibull{}, fmt.Errorf("faultlog: non-positive sample %v", x)
+		}
+		meanLog += math.Log(x)
+	}
+	meanLog /= float64(n)
+
+	// Profile equation g(k) = A(k)/B(k) − 1/k − meanLog = 0 where
+	// A = Σ x^k ln x, B = Σ x^k; g is increasing in k.
+	g := func(k float64) float64 {
+		var a, b float64
+		for _, x := range samples {
+			xk := math.Pow(x, k)
+			a += xk * math.Log(x)
+			b += xk
+		}
+		return a/b - 1/k - meanLog
+	}
+	lo, hi := 0.02, 1.0
+	for g(hi) < 0 {
+		hi *= 2
+		if hi > 512 {
+			return dist.Weibull{}, errors.New("faultlog: weibull shape did not bracket (degenerate samples)")
+		}
+	}
+	for g(lo) > 0 {
+		lo /= 2
+		if lo < 1e-4 {
+			return dist.Weibull{}, errors.New("faultlog: weibull shape did not bracket (heavy ties)")
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-10*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		if g(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	k := (lo + hi) / 2
+	var b float64
+	for _, x := range samples {
+		b += math.Pow(x, k)
+	}
+	scale := math.Pow(b/float64(n), 1/k)
+	return dist.NewWeibull(scale, k)
+}
+
+// ExponentialGoodness reports a crude dispersion diagnostic: the squared
+// coefficient of variation of the inter-arrivals. Exponential data gives
+// ~1; values well above 1 indicate burstiness (Weibull k < 1), below 1
+// regularity (k > 1).
+func ExponentialGoodness(samples []float64) (cv2 float64, err error) {
+	if len(samples) < 2 {
+		return 0, errors.New("faultlog: need >= 2 samples")
+	}
+	var mean float64
+	for _, x := range samples {
+		mean += x
+	}
+	mean /= float64(len(samples))
+	if mean <= 0 {
+		return 0, errors.New("faultlog: non-positive mean")
+	}
+	var v float64
+	for _, x := range samples {
+		v += (x - mean) * (x - mean)
+	}
+	v /= float64(len(samples) - 1)
+	return v / (mean * mean), nil
+}

@@ -1,0 +1,229 @@
+// Package hardware derives multilevel checkpointing system descriptions
+// from physical platform parameters, the way the paper's sources built
+// their Table I rows: checkpoint level costs follow from checkpoint size
+// and the bandwidth of each storage tier (node-local RAM/SSD, partner
+// nodes with XOR encoding, Reed–Solomon groups, and the shared parallel
+// file system), and the system failure rate follows from the per-node
+// rate times the node count.
+//
+// The package encodes the two deployed protocols of Section II-B:
+//
+//   - SCR [5]: three levels — local, partner/XOR, PFS;
+//   - FTI [14]: four levels — local, partner/XOR, Reed–Solomon, PFS.
+//
+// Its scaling laws implement the paper's exascale reasoning: PFS
+// checkpoint time grows with node count (shared bandwidth) while
+// local/partner levels stay flat (they scale with the machine), and the
+// failure rate grows linearly with node count. That yields the intro's
+// motivation study — efficiency versus machine size — as a one-liner.
+package hardware
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/system"
+)
+
+// MinutesPerYear converts per-year failure rates to per-minute.
+const MinutesPerYear = 365.25 * 24 * 60
+
+// Protocol selects the multilevel checkpointing deployment.
+type Protocol int
+
+const (
+	// SCRProtocol is the three-level SCR stack: local, partner/XOR, PFS.
+	SCRProtocol Protocol = iota
+	// FTIProtocol is the four-level FTI stack: local, partner/XOR,
+	// Reed–Solomon, PFS.
+	FTIProtocol
+	// TwoLevelProtocol is the minimal stack: local, PFS.
+	TwoLevelProtocol
+)
+
+// Levels returns the number of checkpoint levels the protocol uses.
+func (p Protocol) Levels() int {
+	switch p {
+	case SCRProtocol:
+		return 3
+	case FTIProtocol:
+		return 4
+	default:
+		return 2
+	}
+}
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case SCRProtocol:
+		return "SCR"
+	case FTIProtocol:
+		return "FTI"
+	case TwoLevelProtocol:
+		return "two-level"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Spec describes a physical platform and application.
+type Spec struct {
+	// Name labels the platform.
+	Name string
+	// Protocol selects the checkpoint stack.
+	Protocol Protocol
+	// Nodes is the number of compute nodes the application uses.
+	Nodes int
+	// CheckpointGBPerNode is the per-node checkpoint size in GB.
+	CheckpointGBPerNode float64
+	// LocalGBPerMin is the per-node bandwidth of the local tier
+	// (RAM/SSD) in GB per minute.
+	LocalGBPerMin float64
+	// PartnerGBPerMin is the per-node network bandwidth to partner
+	// nodes in GB per minute.
+	PartnerGBPerMin float64
+	// XOROverhead multiplies the partner-level data volume for XOR
+	// encoding (e.g. 1.5 = 50 % parity overhead).
+	XOROverhead float64
+	// RSOverhead multiplies the Reed–Solomon level's data volume
+	// (FTI only; more costly, more reliable than XOR).
+	RSOverhead float64
+	// PFSGBPerMin is the aggregate parallel-file-system bandwidth in
+	// GB per minute, shared by all nodes.
+	PFSGBPerMin float64
+	// NodeFailuresPerYear is the per-node failure rate.
+	NodeFailuresPerYear float64
+	// SeverityShares optionally overrides the per-level severity
+	// distribution (must match the protocol's level count and sum to
+	// 1). Nil selects protocol defaults drawn from the field data the
+	// paper's sources report.
+	SeverityShares []float64
+	// BaselineMinutes is the application's failure-free duration.
+	BaselineMinutes float64
+}
+
+// defaultShares per protocol, shaped after the Table I rows: most
+// failures are low-severity.
+func (s Spec) defaultShares() []float64 {
+	switch s.Protocol {
+	case SCRProtocol:
+		return []float64{0.75, 0.17, 0.08}
+	case FTIProtocol:
+		return []float64{0.556, 0.278, 0.139, 0.027}
+	default:
+		return []float64{0.85, 0.15}
+	}
+}
+
+// Validate checks the physical parameters.
+func (s Spec) Validate() error {
+	if s.Nodes <= 0 {
+		return fmt.Errorf("hardware: %d nodes", s.Nodes)
+	}
+	if !(s.CheckpointGBPerNode > 0) {
+		return errors.New("hardware: checkpoint size must be positive")
+	}
+	if !(s.LocalGBPerMin > 0) || !(s.PFSGBPerMin > 0) {
+		return errors.New("hardware: local and PFS bandwidths must be positive")
+	}
+	need := s.Protocol.Levels()
+	if need >= 3 && !(s.PartnerGBPerMin > 0) {
+		return fmt.Errorf("hardware: %s needs a partner bandwidth", s.Protocol)
+	}
+	if !(s.NodeFailuresPerYear > 0) {
+		return errors.New("hardware: node failure rate must be positive")
+	}
+	if !(s.BaselineMinutes > 0) {
+		return errors.New("hardware: baseline time must be positive")
+	}
+	if s.SeverityShares != nil {
+		if len(s.SeverityShares) != need {
+			return fmt.Errorf("hardware: %d severity shares for %d levels", len(s.SeverityShares), need)
+		}
+		var sum float64
+		for _, p := range s.SeverityShares {
+			if p < 0 {
+				return errors.New("hardware: negative severity share")
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("hardware: severity shares sum to %v", sum)
+		}
+	}
+	return nil
+}
+
+// LevelTimes returns the per-level checkpoint(=restart) durations in
+// minutes, lowest level first.
+func (s Spec) LevelTimes() ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	local := s.CheckpointGBPerNode / s.LocalGBPerMin
+	pfs := s.CheckpointGBPerNode * float64(s.Nodes) / s.PFSGBPerMin
+	xor := s.XOROverhead
+	if xor <= 0 {
+		xor = 1.5
+	}
+	rs := s.RSOverhead
+	if rs <= 0 {
+		rs = 2.5
+	}
+	switch s.Protocol {
+	case SCRProtocol:
+		partner := s.CheckpointGBPerNode * xor / s.PartnerGBPerMin
+		return []float64{local, partner, pfs}, nil
+	case FTIProtocol:
+		partner := s.CheckpointGBPerNode * xor / s.PartnerGBPerMin
+		rsTime := s.CheckpointGBPerNode * rs / s.PartnerGBPerMin
+		return []float64{local, partner, rsTime, pfs}, nil
+	default:
+		return []float64{local, pfs}, nil
+	}
+}
+
+// MTBFMinutes returns the whole-system mean time between failures.
+func (s Spec) MTBFMinutes() float64 {
+	ratePerMin := s.NodeFailuresPerYear / MinutesPerYear * float64(s.Nodes)
+	return 1 / ratePerMin
+}
+
+// Build derives the system description the models and simulator consume.
+func (s Spec) Build() (*system.System, error) {
+	times, err := s.LevelTimes()
+	if err != nil {
+		return nil, err
+	}
+	shares := s.SeverityShares
+	if shares == nil {
+		shares = s.defaultShares()
+	}
+	out := &system.System{
+		Name:         fmt.Sprintf("%s/%s/%dn", s.Name, s.Protocol, s.Nodes),
+		Source:       "hardware-derived",
+		MTBF:         s.MTBFMinutes(),
+		BaselineTime: s.BaselineMinutes,
+	}
+	for i, tm := range times {
+		out.Levels = append(out.Levels, system.Level{
+			Checkpoint:   tm,
+			Restart:      tm,
+			SeverityProb: shares[i],
+		})
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScaleNodes returns a copy of the spec at a different machine size.
+// Per-node quantities are unchanged: the PFS level and the system
+// failure rate implicitly scale through Build.
+func (s Spec) ScaleNodes(n int) Spec {
+	s.Nodes = n
+	return s
+}

@@ -1,0 +1,194 @@
+package hardware
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func spec() Spec {
+	return Spec{
+		Name:                "petascale",
+		Protocol:            SCRProtocol,
+		Nodes:               10000,
+		CheckpointGBPerNode: 2,
+		LocalGBPerMin:       300,
+		PartnerGBPerMin:     60,
+		XOROverhead:         1.5,
+		PFSGBPerMin:         3000,
+		NodeFailuresPerYear: 2.5,
+		BaselineMinutes:     1440,
+	}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol*math.Max(1, math.Abs(b)) }
+
+func TestLevelTimesSCR(t *testing.T) {
+	s := spec()
+	times, err := s.LevelTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 3 {
+		t.Fatalf("levels = %d", len(times))
+	}
+	// local: 2/300 min; partner: 2·1.5/60; PFS: 2·10000/3000.
+	if !almost(times[0], 2.0/300, 1e-12) {
+		t.Errorf("local = %v", times[0])
+	}
+	if !almost(times[1], 0.05, 1e-12) {
+		t.Errorf("partner = %v", times[1])
+	}
+	if !almost(times[2], 20000.0/3000, 1e-12) {
+		t.Errorf("pfs = %v", times[2])
+	}
+	// Costs must be ordered like a real multilevel stack.
+	if !(times[0] < times[1] && times[1] < times[2]) {
+		t.Errorf("levels not ordered: %v", times)
+	}
+}
+
+func TestLevelTimesFTI(t *testing.T) {
+	s := spec()
+	s.Protocol = FTIProtocol
+	s.RSOverhead = 2.5
+	times, err := s.LevelTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 4 {
+		t.Fatalf("levels = %d", len(times))
+	}
+	// RS level between XOR and PFS in cost.
+	if !(times[1] < times[2] && times[2] < times[3]) {
+		t.Errorf("FTI ordering wrong: %v", times)
+	}
+	if !almost(times[2], 2*2.5/60.0, 1e-12) {
+		t.Errorf("rs = %v", times[2])
+	}
+}
+
+func TestMTBFScalesInverselyWithNodes(t *testing.T) {
+	s := spec()
+	m1 := s.MTBFMinutes()
+	m2 := s.ScaleNodes(20000).MTBFMinutes()
+	if !almost(m1/m2, 2, 1e-9) {
+		t.Fatalf("mtbf ratio = %v, want 2", m1/m2)
+	}
+	// 10000 nodes × 2.5/year: MTBF = 525960/25000 ≈ 21.04 min.
+	if !almost(m1, MinutesPerYear/25000, 1e-9) {
+		t.Fatalf("mtbf = %v", m1)
+	}
+}
+
+func TestBuildValidatesAndLabels(t *testing.T) {
+	sys, err := spec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumLevels() != 3 {
+		t.Fatalf("levels = %d", sys.NumLevels())
+	}
+	if !strings.Contains(sys.Name, "SCR") || !strings.Contains(sys.Name, "10000n") {
+		t.Fatalf("name = %s", sys.Name)
+	}
+	if !sys.WellOrdered() {
+		t.Fatal("built system not well ordered")
+	}
+}
+
+func TestBuildCustomShares(t *testing.T) {
+	s := spec()
+	s.SeverityShares = []float64{0.5, 0.3, 0.2}
+	sys, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Levels[2].SeverityProb != 0.2 {
+		t.Fatalf("shares not applied: %+v", sys.Levels)
+	}
+}
+
+func TestScaleNodesAffectsOnlyPFSAndRate(t *testing.T) {
+	small, err := spec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := spec().ScaleNodes(100000).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Levels[0].Checkpoint != small.Levels[0].Checkpoint {
+		t.Error("local level changed with node count")
+	}
+	if big.Levels[1].Checkpoint != small.Levels[1].Checkpoint {
+		t.Error("partner level changed with node count")
+	}
+	if !almost(big.Levels[2].Checkpoint/small.Levels[2].Checkpoint, 10, 1e-9) {
+		t.Errorf("pfs scaling = %v, want 10×", big.Levels[2].Checkpoint/small.Levels[2].Checkpoint)
+	}
+	if !almost(small.MTBF/big.MTBF, 10, 1e-9) {
+		t.Errorf("failure-rate scaling = %v, want 10×", small.MTBF/big.MTBF)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := map[string]func(*Spec){
+		"zero nodes":     func(s *Spec) { s.Nodes = 0 },
+		"zero ckpt":      func(s *Spec) { s.CheckpointGBPerNode = 0 },
+		"zero local bw":  func(s *Spec) { s.LocalGBPerMin = 0 },
+		"zero pfs bw":    func(s *Spec) { s.PFSGBPerMin = 0 },
+		"no partner bw":  func(s *Spec) { s.PartnerGBPerMin = 0 },
+		"zero fails":     func(s *Spec) { s.NodeFailuresPerYear = 0 },
+		"zero baseline":  func(s *Spec) { s.BaselineMinutes = 0 },
+		"short shares":   func(s *Spec) { s.SeverityShares = []float64{1} },
+		"bad share sum":  func(s *Spec) { s.SeverityShares = []float64{0.5, 0.4, 0.2} },
+		"negative share": func(s *Spec) { s.SeverityShares = []float64{1.2, -0.1, -0.1} },
+	}
+	for name, mutate := range bad {
+		s := spec()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Two-level protocol does not need partner bandwidth.
+	s := spec()
+	s.Protocol = TwoLevelProtocol
+	s.PartnerGBPerMin = 0
+	if err := s.Validate(); err != nil {
+		t.Errorf("two-level rejected: %v", err)
+	}
+	times, err := s.LevelTimes()
+	if err != nil || len(times) != 2 {
+		t.Errorf("two-level times: %v %v", times, err)
+	}
+}
+
+func TestProtocolStrings(t *testing.T) {
+	if SCRProtocol.String() != "SCR" || FTIProtocol.String() != "FTI" ||
+		TwoLevelProtocol.String() != "two-level" {
+		t.Fatal("protocol names wrong")
+	}
+	if Protocol(9).String() == "" {
+		t.Fatal("unknown protocol must render")
+	}
+	if SCRProtocol.Levels() != 3 || FTIProtocol.Levels() != 4 || TwoLevelProtocol.Levels() != 2 {
+		t.Fatal("level counts wrong")
+	}
+}
+
+func TestDefaultOverheadFactors(t *testing.T) {
+	s := spec()
+	s.XOROverhead = 0 // default 1.5 applies
+	times, err := s.LevelTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(times[1], 2*1.5/60.0, 1e-12) {
+		t.Errorf("default XOR factor not applied: %v", times[1])
+	}
+}

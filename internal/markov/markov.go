@@ -1,0 +1,280 @@
+// Package markov computes the exact expected duration of one multilevel
+// checkpoint pattern period under competing exponential failure
+// processes, by first-step analysis over the period's segments. It is the
+// engine behind the reimplementation of Moody et al.'s SCR Markov model
+// [5] (model/moody), and doubles as an independent exact reference for
+// validating the event-driven simulator.
+//
+// A period is a sequence of segments — computation intervals and
+// checkpoint writes — ending with the top-level checkpoint. A failure of
+// severity s during segment k rolls the application back to the segment
+// following the most recent committed checkpoint of level >= s (or to the
+// period start, whose state is the previous period's top-level
+// checkpoint), after a recovery process of one or more restart attempts
+// that can themselves fail. Two recovery policies are supported:
+//
+//   - Retry: a failure of severity <= r during a level-r restart retries
+//     the same restart; a higher severity switches the recovery to the
+//     level that severity requires. This is the realistic assumption the
+//     paper applies to its simulations (Section IV-G).
+//   - Escalate: any failure during a level-r restart escalates recovery
+//     to the next level up (at least the failing severity's level),
+//     capped at the top. This is Moody et al.'s pessimistic assumption,
+//     the cause of their model's efficiency underestimation.
+//
+// The first-passage decomposition makes the computation O(segments ×
+// levels): the expected time A_k to advance from segment k to k+1
+// satisfies a linear relation involving only the prefix sums of earlier
+// A_m, because every failure path re-enters segment k exactly once.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+)
+
+// RecoveryPolicy selects the failure-during-restart semantics.
+type RecoveryPolicy int
+
+const (
+	// Retry is the realistic policy (paper Section IV-G).
+	Retry RecoveryPolicy = iota
+	// Escalate is Moody et al.'s pessimistic policy.
+	Escalate
+)
+
+// SegmentKind discriminates period segments.
+type SegmentKind int
+
+const (
+	// Compute is a τ0 computation interval.
+	Compute SegmentKind = iota
+	// Checkpoint is a checkpoint write; on success it commits state
+	// recoverable for every severity up to its level.
+	Checkpoint
+)
+
+// Segment is one step of the pattern period.
+type Segment struct {
+	Kind     SegmentKind
+	Duration float64 // minutes
+	// Level is the 1-based severity level a Checkpoint segment commits
+	// (recoverable for severities <= Level). Ignored for Compute.
+	Level int
+}
+
+// Chain is a fully-specified pattern period.
+type Chain struct {
+	// Segments in execution order; the last is normally the top-level
+	// checkpoint.
+	Segments []Segment
+	// Rates holds the failure rate of each severity class, index 0 =
+	// severity 1. Every severity must be recoverable by some checkpoint
+	// level that appears in RestartTime.
+	Rates []float64
+	// RestartTime holds the restart duration per 1-based checkpoint
+	// level (index 0 = level 1). A severity-s failure restarts from the
+	// lowest level >= s present in this slice; entries for unused
+	// levels may be 0 but the top level must cover the highest
+	// severity.
+	RestartTime []float64
+	// Policy selects the failure-during-restart semantics.
+	Policy RecoveryPolicy
+}
+
+// Work returns the useful computation per period in minutes.
+func (c *Chain) Work() float64 {
+	var w float64
+	for _, s := range c.Segments {
+		if s.Kind == Compute {
+			w += s.Duration
+		}
+	}
+	return w
+}
+
+// validate checks chain consistency and returns the total failure rate.
+func (c *Chain) validate() (float64, error) {
+	if len(c.Segments) == 0 {
+		return 0, errors.New("markov: empty period")
+	}
+	if len(c.Rates) == 0 {
+		return 0, errors.New("markov: no failure classes")
+	}
+	if len(c.RestartTime) < len(c.Rates) {
+		return 0, fmt.Errorf("markov: %d restart levels cannot cover %d severities",
+			len(c.RestartTime), len(c.Rates))
+	}
+	var total float64
+	for i, r := range c.Rates {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return 0, fmt.Errorf("markov: severity %d rate %v invalid", i+1, r)
+		}
+		total += r
+	}
+	for k, s := range c.Segments {
+		if !(s.Duration > 0) {
+			return 0, fmt.Errorf("markov: segment %d duration %v must be positive", k, s.Duration)
+		}
+		if s.Kind == Checkpoint && (s.Level < 1 || s.Level > len(c.RestartTime)) {
+			return 0, fmt.Errorf("markov: segment %d commit level %d out of range", k, s.Level)
+		}
+	}
+	return total, nil
+}
+
+// ExpectedPeriodTime returns the exact expected wall-clock duration of
+// one period, including all failure, rollback and recovery overhead. The
+// result is +Inf when the period cannot complete (a restart or segment
+// whose success probability underflows to zero).
+func (c *Chain) ExpectedPeriodTime() (float64, error) {
+	lambda, err := c.validate()
+	if err != nil {
+		return 0, err
+	}
+	if lambda == 0 {
+		// No failures: the period is just the sum of its segments.
+		var t float64
+		for _, s := range c.Segments {
+			t += s.Duration
+		}
+		return t, nil
+	}
+
+	L := len(c.Rates)
+	rec, err := c.recoveries(lambda)
+	if err != nil {
+		return 0, err
+	}
+
+	// posByLevel[k*L + (u-1)] = resume segment index after a recovery
+	// from a level-u checkpoint when the failure struck segment k: the
+	// segment after the latest committed checkpoint of level >= u
+	// strictly before k, or 0 (period start).
+	n := len(c.Segments)
+	posByLevel := make([]int, n*L)
+	last := make([]int, L) // last[u-1] = resume position for level u so far
+	for k := 0; k < n; k++ {
+		copy(posByLevel[k*L:(k+1)*L], last)
+		if s := c.Segments[k]; s.Kind == Checkpoint {
+			for u := 1; u <= s.Level; u++ {
+				last[u-1] = k + 1
+			}
+		}
+	}
+
+	// Forward first-passage sweep.
+	prefix := make([]float64, n+1) // prefix[k] = Σ_{m<k} A_m
+	for k := 0; k < n; k++ {
+		d := c.Segments[k].Duration
+		q := math.Exp(-lambda * d)
+		if q == 0 {
+			return math.Inf(1), nil
+		}
+		pf := 1 - q
+		partial := dist.TruncExp(d, lambda)
+
+		acc := q*d + pf*partial
+		for s := 1; s <= L; s++ {
+			ps := pf * c.Rates[s-1] / lambda
+			if ps == 0 {
+				continue
+			}
+			r0 := s // recovery starts at the lowest level >= severity = s itself
+			rc := rec[r0-1]
+			if math.IsInf(rc.time, 1) {
+				return math.Inf(1), nil
+			}
+			acc += ps * rc.time
+			for u := r0; u <= L; u++ {
+				if a := rc.absorb[u-1]; a > 0 {
+					acc += ps * a * (prefix[k] - prefix[posByLevel[k*L+u-1]])
+				}
+			}
+		}
+		ak := acc / q
+		prefix[k+1] = prefix[k] + ak
+	}
+	return prefix[n], nil
+}
+
+// recovery holds the expected duration of a recovery that starts at a
+// given level and its absorption distribution over the level whose
+// checkpoint is finally read.
+type recovery struct {
+	time   float64
+	absorb []float64 // index u-1: P(recovery completes reading level u)
+}
+
+// recoveries solves the per-start-level recovery chains top-down. Levels
+// only move upward under both policies, so each level's equations depend
+// only on strictly higher levels plus a self-loop.
+func (c *Chain) recoveries(lambda float64) ([]recovery, error) {
+	L := len(c.Rates)
+	out := make([]recovery, L)
+	for u := L; u >= 1; u-- {
+		R := c.RestartTime[u-1]
+		var q, partial float64
+		if R > 0 {
+			q = math.Exp(-lambda * R)
+			partial = dist.TruncExp(R, lambda)
+		} else {
+			q = 1 // free restart always succeeds
+		}
+		pf := 1 - q
+
+		var pSelf, base float64
+		absorb := make([]float64, L)
+		base = q*R + pf*partial
+		absorb[u-1] = q
+		for s := 1; s <= L; s++ {
+			ps := pf * c.Rates[s-1] / lambda
+			if ps == 0 {
+				continue
+			}
+			next := c.nextLevel(u, s, L)
+			if next == u {
+				pSelf += ps
+				continue
+			}
+			base += ps * out[next-1].time
+			for v := next; v <= L; v++ {
+				absorb[v-1] += ps * out[next-1].absorb[v-1]
+			}
+		}
+		denom := 1 - pSelf
+		if denom <= 0 {
+			out[u-1] = recovery{time: math.Inf(1), absorb: absorb}
+			continue
+		}
+		for v := range absorb {
+			absorb[v] /= denom
+		}
+		out[u-1] = recovery{time: base / denom, absorb: absorb}
+	}
+	return out, nil
+}
+
+// nextLevel applies the policy: the restart level after a severity-s
+// failure interrupts a level-u restart.
+func (c *Chain) nextLevel(u, s, top int) int {
+	switch c.Policy {
+	case Escalate:
+		next := u + 1
+		if next > top {
+			next = top
+		}
+		if s > next {
+			next = s
+		}
+		return next
+	default: // Retry
+		if s > u {
+			return s
+		}
+		return u
+	}
+}

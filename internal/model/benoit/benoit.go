@@ -1,0 +1,200 @@
+// Package benoit implements the first-order multilevel checkpointing
+// model of Benoit, Cavelan, Fèvre, Robert and Sun [18] as characterized
+// by the paper's comparison (Sections II-C and IV-C):
+//
+//   - pattern-based with an arbitrary number of levels;
+//   - steady-state: it optimizes the efficiency of one pattern period
+//     and ignores the application's execution time T_B (so it never
+//     skips the top level);
+//   - checkpoints and restarts are FAILURE-FREE, and only failures
+//     during computation are modeled;
+//   - re-executed work is approximated to first order: a level-i failure
+//     loses on average half of the level-i inter-checkpoint *work*
+//     distance — the re-execution itself is assumed failure-free and
+//     checkpoint overhead inside the re-executed span is not charged.
+//
+// These first-order approximations are the documented cause of the
+// optimistic predictions and over-long computation intervals the paper
+// reports for this technique, and of its accuracy degradation as the
+// number of levels grows (the sharp Figure 2 drop on the four-level
+// system B).
+package benoit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/optimize"
+	"repro/internal/pattern"
+	"repro/internal/system"
+)
+
+func init() {
+	model.Register("benoit", func() model.Technique { return New() })
+}
+
+// Technique is the Benoit et al. first-order model + optimizer.
+type Technique struct {
+	// Tau0Points is the τ0 grid resolution of the optimizer sweep.
+	Tau0Points int
+	// CountVals is the N_i candidate set of the optimizer sweep.
+	CountVals []int
+	// Workers bounds optimizer parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Analytic selects the closed-form optimizer (the default, matching
+	// [18]'s derivation): per-level optimum work distances
+	// W_l = sqrt(2·δ_l/λ_l), rounded onto the pattern lattice. When
+	// false, a brute-force sweep of the same first-order objective is
+	// used instead — available for the ablation of how much the
+	// closed-form rounding costs.
+	Analytic bool
+}
+
+// New returns the technique with reproduction settings.
+func New() *Technique {
+	return &Technique{Tau0Points: 96, CountVals: optimize.DefaultCounts(), Analytic: true}
+}
+
+// Name implements model.Model.
+func (*Technique) Name() string { return "benoit" }
+
+// periodTime returns the first-order expected time of one pattern period
+// and the useful work it contains. Plans must use all system levels (the
+// model is steady-state over a full multilevel pattern).
+func periodTime(sys *system.System, plan pattern.Plan) (expected, work float64, err error) {
+	if plan.NumUsed() != sys.NumLevels() {
+		return 0, 0, fmt.Errorf("benoit: steady-state model requires all %d levels, plan uses %d",
+			sys.NumLevels(), plan.NumUsed())
+	}
+	work = plan.PeriodWork()
+	counts := plan.CheckpointsPerPeriod()
+
+	// Failure-free period length: work plus all checkpoint overhead.
+	var overhead float64
+	for i, c := range counts {
+		overhead += float64(c) * sys.Levels[plan.Levels[i]-1].Checkpoint
+	}
+	expected = work + overhead
+
+	// First-order failure waste: failures arrive only during the W
+	// units of computation; a severity-i failure costs the level-i
+	// restart plus re-execution of half the level-i inter-checkpoint
+	// work distance.
+	interCkptWork := plan.Tau0
+	sizeIntervals := 1
+	for i := 0; i < sys.NumLevels(); i++ {
+		if i > 0 {
+			sizeIntervals *= plan.Counts[i-1] + 1
+			interCkptWork = plan.Tau0 * float64(sizeIntervals)
+		}
+		li := sys.LevelRate(i + 1)
+		loss := interCkptWork/2 + sys.Levels[i].Restart
+		expected += li * work * loss
+	}
+	if math.IsNaN(expected) {
+		return 0, 0, fmt.Errorf("benoit: model diverged for plan %v", plan)
+	}
+	return expected, work, nil
+}
+
+// Predict evaluates the first-order model. Because the model is
+// steady-state, the predicted application time is T_B divided by the
+// period efficiency.
+func (*Technique) Predict(sys *system.System, plan pattern.Plan) (model.Prediction, error) {
+	if err := plan.Validate(sys); err != nil {
+		return model.Prediction{}, err
+	}
+	expected, work, err := periodTime(sys, plan)
+	if err != nil {
+		return model.Prediction{}, err
+	}
+	eff := work / expected
+	if !(eff > 0) {
+		return model.Prediction{}, fmt.Errorf("benoit: non-positive efficiency for plan %v", plan)
+	}
+	return model.NewPrediction(sys.BaselineTime, sys.BaselineTime/eff), nil
+}
+
+// AnalyticPlan builds the closed-form first-order pattern of [18]: each
+// level's optimum inter-checkpoint work distance is the independent
+// Young-style optimum W_l = sqrt(2·δ_l/λ_l); distances are made
+// monotone and rounded onto the nested pattern lattice
+// W_{l+1} = (N_l + 1)·W_l.
+func AnalyticPlan(sys *system.System) (pattern.Plan, error) {
+	if err := sys.Validate(); err != nil {
+		return pattern.Plan{}, err
+	}
+	L := sys.NumLevels()
+	w := make([]float64, L)
+	for l := 0; l < L; l++ {
+		rate := sys.LevelRate(l + 1)
+		if rate <= 0 {
+			// A severity that never fires wants no checkpoints of its
+			// own: inherit the previous level's distance.
+			if l > 0 {
+				w[l] = w[l-1]
+			} else {
+				w[l] = sys.BaselineTime
+			}
+			continue
+		}
+		w[l] = math.Sqrt(2 * sys.Levels[l].Checkpoint / rate)
+		if l > 0 && w[l] < w[l-1] {
+			w[l] = w[l-1]
+		}
+	}
+	plan := pattern.Plan{Tau0: w[0], Levels: pattern.AllLevels(sys)}
+	if plan.Tau0 > sys.BaselineTime {
+		plan.Tau0 = sys.BaselineTime
+	}
+	dist := plan.Tau0
+	for l := 0; l < L-1; l++ {
+		ratio := int(math.Round(w[l+1] / dist))
+		if ratio < 1 {
+			ratio = 1
+		}
+		plan.Counts = append(plan.Counts, ratio-1)
+		dist *= float64(ratio)
+	}
+	return plan, nil
+}
+
+// Optimize returns the closed-form analytic pattern (the default) or
+// brute-force-sweeps full-level patterns for the best first-order period
+// efficiency.
+func (t *Technique) Optimize(sys *system.System) (pattern.Plan, model.Prediction, error) {
+	if err := sys.Validate(); err != nil {
+		return pattern.Plan{}, model.Prediction{}, err
+	}
+	if t.Analytic {
+		plan, err := AnalyticPlan(sys)
+		if err != nil {
+			return pattern.Plan{}, model.Prediction{}, err
+		}
+		pred, err := t.Predict(sys, plan)
+		return plan, pred, err
+	}
+	space := optimize.Space{
+		Tau0:       optimize.Tau0Grid(sys, t.Tau0Points),
+		CountVals:  t.CountVals,
+		LevelSets:  [][]int{pattern.AllLevels(sys)},
+		Workers:    t.Workers,
+		RefineTau0: true,
+	}
+	res, err := optimize.Sweep(space, func(p pattern.Plan) (float64, bool) {
+		expected, work, err := periodTime(sys, p)
+		if err != nil || !(work > 0) {
+			return 0, false
+		}
+		// Minimizing normalized period time maximizes efficiency.
+		return expected / work, true
+	})
+	if err != nil {
+		return pattern.Plan{}, model.Prediction{}, err
+	}
+	// res.ExpectedTime is the normalized period time = 1/efficiency.
+	return res.Plan, model.NewPrediction(sys.BaselineTime, sys.BaselineTime*res.ExpectedTime), nil
+}
+
+var _ model.Technique = (*Technique)(nil)

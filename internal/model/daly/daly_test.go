@@ -1,0 +1,184 @@
+package daly
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/pattern"
+	"repro/internal/system"
+)
+
+func sys1() *system.System {
+	return &system.System{
+		Name: "pfs", MTBF: 60, BaselineTime: 1440,
+		Levels: []system.Level{{Checkpoint: 5, Restart: 5, SeverityProb: 1}},
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	m, err := model.New("daly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "daly" {
+		t.Fatalf("name = %s", m.Name())
+	}
+}
+
+func TestYoungInterval(t *testing.T) {
+	if got, want := YoungInterval(5, 60), math.Sqrt(600); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("young = %v, want %v", got, want)
+	}
+}
+
+func TestDalyIntervalProperties(t *testing.T) {
+	// Higher-order interval is near Young for δ << M and caps at M for
+	// huge δ.
+	y := YoungInterval(0.01, 1000)
+	d := DalyInterval(0.01, 1000)
+	if math.Abs(d-y)/y > 0.02 {
+		t.Fatalf("small-δ Daly %v should be near Young %v", d, y)
+	}
+	if got := DalyInterval(500, 100); got != 100 {
+		t.Fatalf("δ>=2M should return M: %v", got)
+	}
+}
+
+func TestDalyIntervalMinimizesExpectedTime(t *testing.T) {
+	// Daly's closed-form optimum should be within a hair of the numeric
+	// minimum of his own expected-time formula.
+	f := func(dRaw, mRaw uint8) bool {
+		delta := 0.5 + float64(dRaw)/16 // 0.5..16.4
+		mtbf := 30 + float64(mRaw)      // 30..285
+		opt := DalyInterval(delta, mtbf)
+		tOpt := ExpectedTime(1000, opt, delta, delta, mtbf)
+		// Scan around it.
+		for _, f := range []float64{0.5, 0.8, 1.25, 2} {
+			if ExpectedTime(1000, opt*f, delta, delta, mtbf) < tOpt*(1-1e-3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedTimeLimits(t *testing.T) {
+	// Failure-free limit: M → ∞ gives T_B·(1 + δ/τ).
+	got := ExpectedTime(1000, 50, 5, 5, 1e9)
+	want := 1000 * (1 + 5.0/50)
+	if math.Abs(got-want)/want > 1e-4 {
+		t.Fatalf("failure-free limit = %v, want %v", got, want)
+	}
+	if !math.IsInf(ExpectedTime(1000, 0, 5, 5, 60), 1) {
+		t.Fatal("τ=0 should be infinite")
+	}
+}
+
+func TestPredictSingleLevelOnly(t *testing.T) {
+	tq := New()
+	two := &system.System{
+		Name: "two", MTBF: 60, BaselineTime: 100,
+		Levels: []system.Level{
+			{Checkpoint: 1, Restart: 1, SeverityProb: 0.8},
+			{Checkpoint: 5, Restart: 5, SeverityProb: 0.2},
+		},
+	}
+	if _, err := tq.Predict(two, pattern.Plan{Tau0: 10, Counts: []int{1}, Levels: []int{1, 2}}); err == nil {
+		t.Fatal("multi-level plan accepted")
+	}
+	pred, err := tq.Predict(two, pattern.Plan{Tau0: 10, Levels: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pred.Efficiency > 0 && pred.Efficiency < 1) {
+		t.Fatalf("efficiency = %v", pred.Efficiency)
+	}
+}
+
+func TestOptimizeUsesTopLevelAtDalyInterval(t *testing.T) {
+	s := sys1()
+	plan, pred, err := New().Optimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumUsed() != 1 || plan.TopLevel() != 1 {
+		t.Fatalf("plan = %v", plan)
+	}
+	if math.Abs(plan.Tau0-DalyInterval(5, 60)) > 1e-9 {
+		t.Fatalf("τ0 = %v, want Daly interval %v", plan.Tau0, DalyInterval(5, 60))
+	}
+	if !(pred.Efficiency > 0 && pred.Efficiency < 1) {
+		t.Fatalf("efficiency = %v", pred.Efficiency)
+	}
+}
+
+func TestOptimizeOnMultilevelSystemPicksPFS(t *testing.T) {
+	b, err := system.ByName("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _, err := New().Optimize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TopLevel() != 4 || plan.NumUsed() != 1 {
+		t.Fatalf("plan = %v", plan)
+	}
+}
+
+func TestOptimizeClampsToBaseline(t *testing.T) {
+	// Huge MTBF drives the Daly interval beyond T_B; it must clamp.
+	s := sys1()
+	s.MTBF = 1e10
+	s.BaselineTime = 100
+	plan, _, err := New().Optimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Tau0 > 100 {
+		t.Fatalf("τ0 = %v exceeds T_B", plan.Tau0)
+	}
+}
+
+func TestOptimizeRejectsInvalidSystem(t *testing.T) {
+	s := sys1()
+	s.Levels[0].Checkpoint = -1
+	if _, _, err := New().Optimize(s); err == nil {
+		t.Fatal("invalid system accepted")
+	}
+}
+
+func TestYoungRegisteredAndOptimizes(t *testing.T) {
+	m, err := model.New("young")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "young" {
+		t.Fatalf("name = %s", m.Name())
+	}
+	s := sys1()
+	plan, pred, err := m.Optimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Tau0-YoungInterval(5, 60)) > 1e-9 {
+		t.Fatalf("τ0 = %v, want Young interval", plan.Tau0)
+	}
+	if !(pred.Efficiency > 0 && pred.Efficiency < 1) {
+		t.Fatalf("efficiency = %v", pred.Efficiency)
+	}
+	// First-order interval is close to but not identical to Daly's;
+	// Daly's own objective must rate Daly's interval at least as good.
+	_, dPred, err := New().Optimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dPred.ExpectedTime > pred.ExpectedTime*(1+1e-9) {
+		t.Fatalf("daly %v worse than young %v under daly's model", dPred.ExpectedTime, pred.ExpectedTime)
+	}
+}

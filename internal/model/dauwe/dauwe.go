@@ -1,0 +1,283 @@
+// Package dauwe implements the paper's primary contribution: the
+// hierarchical, continuous-equation execution-time prediction model for
+// pattern-based multilevel checkpointing (Section III, Eqns. 1–14), and
+// the brute-force checkpoint-interval optimizer built on it
+// (Section III-C).
+//
+// The model estimates, level by level, the expected duration of each
+// "execution interval" τ_{i+1} — the time between successive level-i+1
+// checkpoints — as the sum of lower-level intervals plus the expected
+// time of every event class the paper enumerates: successful and failed
+// checkpoints, successful and failed restarts, and re-computation of work
+// lost to failures during computation and during checkpoints. Unlike the
+// prior models it is compared against, it accounts for failures that
+// strike checkpoint and restart events themselves, and for the
+// application's finite execution time T_B.
+package dauwe
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/optimize"
+	"repro/internal/pattern"
+	"repro/internal/system"
+)
+
+func init() {
+	model.Register("dauwe", func() model.Technique { return New() })
+}
+
+// Technique is the Dauwe et al. model + optimizer.
+type Technique struct {
+	// Tau0Points is the τ0 grid resolution of the optimizer sweep.
+	Tau0Points int
+	// CountVals is the N_i candidate set of the optimizer sweep.
+	CountVals []int
+	// AllowLevelExclusion enables the Section IV-F behavior of
+	// considering plans that skip the costly top levels. On by default
+	// (it is one of the model's two headline advantages).
+	AllowLevelExclusion bool
+	// Workers bounds optimizer parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// New returns the technique with the evaluation settings used in the
+// paper reproduction.
+func New() *Technique {
+	return &Technique{
+		Tau0Points:          96,
+		CountVals:           optimize.DefaultCounts(),
+		AllowLevelExclusion: true,
+	}
+}
+
+// Name implements model.Model.
+func (*Technique) Name() string { return "dauwe" }
+
+// Predict evaluates the hierarchical model for one plan (Eqns. 1–14).
+func (*Technique) Predict(sys *system.System, plan pattern.Plan) (model.Prediction, error) {
+	if err := plan.Validate(sys); err != nil {
+		return model.Prediction{}, err
+	}
+	t, err := expectedTime(sys, plan, nil)
+	if err != nil {
+		return model.Prediction{}, err
+	}
+	return model.NewPrediction(sys.BaselineTime, t), nil
+}
+
+// Breakdown partitions a prediction into the paper's event classes
+// (Section III-B), summed over all levels — the model-side analogue of
+// the simulator's Figure 3 accounting. All values are minutes of the
+// predicted execution.
+type Breakdown struct {
+	// Compute is the baseline computation T_B.
+	Compute float64
+	// Recompute is work re-executed after failures (T_Wτ + T_Wδ).
+	Recompute float64
+	// CheckpointOK is time in successful checkpoints (T_δ).
+	CheckpointOK float64
+	// CheckpointFail is time lost in failed checkpoints (T_δ').
+	CheckpointFail float64
+	// RestartOK is time in successful restarts (T_R).
+	RestartOK float64
+	// RestartFail is time lost in failed restarts (T_R').
+	RestartFail float64
+}
+
+// Total returns the sum of all classes (== the predicted T_ML).
+func (b Breakdown) Total() float64 {
+	return b.Compute + b.Recompute + b.CheckpointOK + b.CheckpointFail +
+		b.RestartOK + b.RestartFail
+}
+
+// PredictDetailed is Predict plus the per-event-class decomposition of
+// the predicted time.
+func (*Technique) PredictDetailed(sys *system.System, plan pattern.Plan) (model.Prediction, Breakdown, error) {
+	if err := plan.Validate(sys); err != nil {
+		return model.Prediction{}, Breakdown{}, err
+	}
+	var b Breakdown
+	t, err := expectedTime(sys, plan, &b)
+	if err != nil {
+		return model.Prediction{}, Breakdown{}, err
+	}
+	return model.NewPrediction(sys.BaselineTime, t), b, nil
+}
+
+// expectedTime runs the level-by-level recursion of Eqn. 4. When bk is
+// non-nil it accumulates the per-event-class decomposition; because each
+// level's terms scale by the number of times that level's execution
+// interval occurs in the whole run, per-level contributions are weighted
+// by the occurrence count of their enclosing interval.
+func expectedTime(sys *system.System, plan pattern.Plan, bk *Breakdown) (float64, error) {
+	lambdaFull := sys.Lambda()
+	ell := plan.NumUsed()
+
+	// Severity mass handled by each used level: classes between the
+	// previous used level (exclusive) and this one (inclusive) restart
+	// from this level's checkpoint.
+	rate := make([]float64, ell)
+	lo := 1
+	for i, u := range plan.Levels {
+		for sev := lo; sev <= u; sev++ {
+			rate[i] += sys.LevelRate(sev)
+		}
+		lo = u + 1
+	}
+	// Residual severities above the top used level lose everything.
+	var restRate float64
+	for sev := lo; sev <= sys.NumLevels(); sev++ {
+		restRate += sys.LevelRate(sev)
+	}
+
+	// N_L per Eqn. 3: number of top-level execution intervals.
+	nTop := plan.TopPeriods(sys.BaselineTime)
+	if !(nTop > 0) || math.IsInf(nTop, 1) {
+		return 0, fmt.Errorf("dauwe: degenerate top period count %v", nTop)
+	}
+
+	tau := plan.Tau0
+	taus := make([]float64, 0, ell)
+	gammas := make([]float64, 0, ell)
+	type levelTerms struct {
+		tCk, tCkFail, tR, tRFail, tWTau, tWCk, nIv float64
+	}
+	var terms []levelTerms
+	if bk != nil {
+		terms = make([]levelTerms, 0, ell)
+	}
+	var lambdaC float64 // λ_c = Σ_{j<=i} λ_j over used levels
+	for i := 0; i < ell; i++ {
+		li := rate[i]
+		lambdaC += li
+		delta := sys.Levels[plan.Levels[i]-1].Checkpoint
+		restart := sys.Levels[plan.Levels[i]-1].Restart
+
+		// Checkpoint and interval counts inside one level-(i+1)
+		// execution interval. The paper's recursion uses N_i
+		// checkpoints and N_i+1 intervals below the top; at the top we
+		// use N_L intervals and N_L checkpoints (Eqn. 3's count; see
+		// DESIGN.md §2.1 for the indexing convention).
+		var nCk, nIv float64
+		if i < ell-1 {
+			nCk = float64(plan.Counts[i])
+			nIv = nCk + 1
+		} else {
+			nCk = nTop
+			nIv = nTop
+		}
+
+		// Eqn. 5: expected level-i failures per τ_i interval.
+		gamma := dist.RetryCount(tau, li)
+		taus = append(taus, tau)
+		gammas = append(gammas, gamma)
+
+		// Eqn. 6: recomputation of work lost during computation.
+		tWTau := gamma * dist.TruncExp(tau, li) * nIv
+
+		// Eqn. 7: successful checkpoints.
+		tCk := nCk * delta
+
+		// Eqns. 8–9: failed checkpoints.
+		alpha := dist.RetryCount(delta, lambdaC) * nCk
+		tCkFail := alpha * dist.TruncExp(delta, lambdaC)
+
+		// Eqn. 10: progress lost to failed checkpoints — the interval
+		// preceding the checkpoint plus its failure overhead, weighted
+		// by each contributing severity share S_k.
+		var tWCk float64
+		for k := 0; k <= i; k++ {
+			sk := rate[k] / lambdaFull
+			tWCk += (taus[k] + gammas[k]*dist.TruncExp(taus[k], rate[k])) * sk
+		}
+		tWCk *= alpha
+
+		// Eqn. 11: expected successful level-i restarts.
+		si := li / lambdaFull
+		beta := si*alpha + gamma*(si*alpha+nIv)
+
+		// Eqns. 12–14: restart time, successful and failed.
+		zeta := dist.RetryCount(restart, lambdaC) * beta
+		tR := beta * restart
+		tRFail := zeta * dist.TruncExp(restart, lambdaC)
+
+		// Eqn. 4.
+		tau = tau*nIv + tCk + tCkFail + tR + tRFail + tWTau + tWCk
+		if math.IsNaN(tau) {
+			return 0, fmt.Errorf("dauwe: model diverged at level %d for plan %v", i+1, plan)
+		}
+		if bk != nil {
+			terms = append(terms, levelTerms{
+				tCk: tCk, tCkFail: tCkFail, tR: tR, tRFail: tRFail,
+				tWTau: tWTau, tWCk: tWCk, nIv: nIv,
+			})
+		}
+	}
+	if bk != nil {
+		// Each level-i term occurs once per level-(i+1) execution
+		// interval; weight by how many such intervals the run contains.
+		occ := 1.0
+		for i := ell - 1; i >= 0; i-- {
+			t := terms[i]
+			bk.CheckpointOK += occ * t.tCk
+			bk.CheckpointFail += occ * t.tCkFail
+			bk.RestartOK += occ * t.tR
+			bk.RestartFail += occ * t.tRFail
+			bk.Recompute += occ * (t.tWTau + t.tWCk)
+			occ *= t.nIv
+		}
+		// occ is now the total number of τ0 intervals: their content is
+		// exactly the baseline computation (Eqn. 3).
+		bk.Compute = plan.Tau0 * occ
+	}
+
+	// Severities the plan cannot checkpoint against restart the whole
+	// application from scratch: the expected time of a restart-from-
+	// zero process over an exposure window of length τ is
+	// τ + γ_rest·E(τ, λ_rest) = (e^{λ_rest·τ} - 1)/λ_rest.
+	if restRate > 0 {
+		loss := dist.RetryCount(tau, restRate) * dist.TruncExp(tau, restRate)
+		tau += loss
+		if bk != nil {
+			bk.Recompute += loss
+		}
+	}
+	return tau, nil
+}
+
+// Optimize implements the bounded brute-force search of Section III-C:
+// every (τ0, N_1..N_{ℓ-1}) combination on the grid is evaluated with the
+// model, over the level-prefix family {1..ℓ} when level exclusion is
+// enabled, and the plan with the smallest predicted execution time wins.
+func (t *Technique) Optimize(sys *system.System) (pattern.Plan, model.Prediction, error) {
+	if err := sys.Validate(); err != nil {
+		return pattern.Plan{}, model.Prediction{}, err
+	}
+	var sets [][]int
+	if t.AllowLevelExclusion {
+		sets = optimize.PrefixLevelSets(sys.NumLevels())
+	} else {
+		sets = [][]int{pattern.AllLevels(sys)}
+	}
+	space := optimize.Space{
+		Tau0:       optimize.Tau0Grid(sys, t.Tau0Points),
+		CountVals:  t.CountVals,
+		LevelSets:  sets,
+		Workers:    t.Workers,
+		RefineTau0: true,
+	}
+	res, err := optimize.Sweep(space, func(p pattern.Plan) (float64, bool) {
+		v, err := expectedTime(sys, p, nil)
+		return v, err == nil && v > 0
+	})
+	if err != nil {
+		return pattern.Plan{}, model.Prediction{}, err
+	}
+	return res.Plan, model.NewPrediction(sys.BaselineTime, res.ExpectedTime), nil
+}
+
+var _ model.Technique = (*Technique)(nil)

@@ -1,0 +1,158 @@
+// Package di implements the two-level multilevel checkpointing model of
+// Di, Robert, Vivien and Cappello [17] in the offline pattern-based
+// variant the paper compares against.
+//
+// Fidelity notes (paper Sections II-C, IV-C, IV-G):
+//
+//   - the model considers the application's execution time T_B (like the
+//     paper's model, unlike Moody's), so it may skip the PFS level for
+//     short applications;
+//   - it assumes checkpoints and restarts are FAILURE-FREE — the
+//     documented cause of its optimistic efficiency predictions
+//     (Figure 6 shows it overestimating by up to ~14 %);
+//   - it only understands two checkpoint levels: on a system with more,
+//     it uses the top two (levels L−1 and L) with all lower severity
+//     mass aggregated into level L−1 (Section IV-C).
+//
+// Structurally the prediction is the paper's hierarchical recursion with
+// the failed-checkpoint and failed-restart terms (Eqns. 8–10, 12, 14)
+// removed, which is exactly the failure-free-C/R assumption.
+package di
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/optimize"
+	"repro/internal/pattern"
+	"repro/internal/system"
+)
+
+func init() {
+	model.Register("di", func() model.Technique { return New() })
+}
+
+// Technique is the Di et al. two-level model + optimizer.
+type Technique struct {
+	// Tau0Points is the τ0 grid resolution of the optimizer sweep.
+	Tau0Points int
+	// CountVals is the N_1 candidate set of the optimizer sweep.
+	CountVals []int
+	// Workers bounds optimizer parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// New returns the technique with reproduction settings.
+func New() *Technique {
+	return &Technique{Tau0Points: 96, CountVals: optimize.DefaultCounts()}
+}
+
+// Name implements model.Model.
+func (*Technique) Name() string { return "di" }
+
+// Predict evaluates the failure-free-C/R two-level recursion. Plans may
+// use at most two levels (the model's domain).
+func (*Technique) Predict(sys *system.System, plan pattern.Plan) (model.Prediction, error) {
+	if err := plan.Validate(sys); err != nil {
+		return model.Prediction{}, err
+	}
+	if plan.NumUsed() > 2 {
+		return model.Prediction{}, fmt.Errorf("di: two-level model cannot predict a %d-level plan", plan.NumUsed())
+	}
+	t, err := expectedTime(sys, plan)
+	if err != nil {
+		return model.Prediction{}, err
+	}
+	return model.NewPrediction(sys.BaselineTime, t), nil
+}
+
+// expectedTime is the hierarchical recursion with α_i = ζ_i = 0:
+// checkpoints and restarts never fail and never lose progress.
+func expectedTime(sys *system.System, plan pattern.Plan) (float64, error) {
+	ell := plan.NumUsed()
+	rate := make([]float64, ell)
+	lo := 1
+	for i, u := range plan.Levels {
+		for sev := lo; sev <= u; sev++ {
+			rate[i] += sys.LevelRate(sev)
+		}
+		lo = u + 1
+	}
+	var restRate float64
+	for sev := lo; sev <= sys.NumLevels(); sev++ {
+		restRate += sys.LevelRate(sev)
+	}
+
+	nTop := plan.TopPeriods(sys.BaselineTime)
+	if !(nTop > 0) || math.IsInf(nTop, 1) {
+		return 0, fmt.Errorf("di: degenerate top period count %v", nTop)
+	}
+
+	tau := plan.Tau0
+	for i := 0; i < ell; i++ {
+		li := rate[i]
+		delta := sys.Levels[plan.Levels[i]-1].Checkpoint
+		restart := sys.Levels[plan.Levels[i]-1].Restart
+
+		var nCk, nIv float64
+		if i < ell-1 {
+			nCk = float64(plan.Counts[i])
+			nIv = nCk + 1
+		} else {
+			nCk = nTop
+			nIv = nTop
+		}
+
+		gamma := dist.RetryCount(tau, li)
+		tWTau := gamma * dist.TruncExp(tau, li) * nIv
+		tCk := nCk * delta
+		// Failure-free C/R: only restarts triggered by computation
+		// failures, each succeeding on the first attempt.
+		beta := gamma * nIv
+		tR := beta * restart
+
+		tau = tau*nIv + tCk + tR + tWTau
+		if math.IsNaN(tau) {
+			return 0, fmt.Errorf("di: model diverged at level %d for plan %v", i+1, plan)
+		}
+	}
+	if restRate > 0 {
+		tau += dist.RetryCount(tau, restRate) * dist.TruncExp(tau, restRate)
+	}
+	return tau, nil
+}
+
+// Optimize sweeps the two-level plan family over the system's top two
+// levels (Section IV-C): both levels, the lower alone, or the PFS alone
+// (the last two cover the short-application behavior of Section IV-F).
+func (t *Technique) Optimize(sys *system.System) (pattern.Plan, model.Prediction, error) {
+	if err := sys.Validate(); err != nil {
+		return pattern.Plan{}, model.Prediction{}, err
+	}
+	top := sys.NumLevels()
+	var sets [][]int
+	if top >= 2 {
+		sets = [][]int{{top - 1, top}, {top - 1}, {top}}
+	} else {
+		sets = [][]int{{top}}
+	}
+	space := optimize.Space{
+		Tau0:       optimize.Tau0Grid(sys, t.Tau0Points),
+		CountVals:  t.CountVals,
+		LevelSets:  sets,
+		Workers:    t.Workers,
+		RefineTau0: true,
+	}
+	res, err := optimize.Sweep(space, func(p pattern.Plan) (float64, bool) {
+		v, err := expectedTime(sys, p)
+		return v, err == nil && v > 0
+	})
+	if err != nil {
+		return pattern.Plan{}, model.Prediction{}, err
+	}
+	return res.Plan, model.NewPrediction(sys.BaselineTime, res.ExpectedTime), nil
+}
+
+var _ model.Technique = (*Technique)(nil)

@@ -1,0 +1,104 @@
+// Package model defines the common interface implemented by every
+// checkpoint performance model the paper compares — the paper's own
+// hierarchical model (model/dauwe) and the four prior techniques
+// (model/daly, model/moody, model/di, model/benoit) — plus a registry so
+// tools and experiments can address techniques by name.
+//
+// A Model turns a (system, plan) pair into a prediction of the
+// application's expected execution time; an Optimizer additionally
+// searches the plan space for the plan its model considers best. The
+// simulator (internal/sim) is the ground truth that predictions are
+// compared against.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/pattern"
+	"repro/internal/system"
+)
+
+// Prediction is a model's estimate for one plan on one system.
+type Prediction struct {
+	// ExpectedTime is the predicted expected execution time T_ML in
+	// minutes, including all resilience and failure overhead.
+	ExpectedTime float64
+	// Efficiency is T_B / ExpectedTime, the paper's headline metric.
+	Efficiency float64
+}
+
+// NewPrediction derives the efficiency from a predicted time.
+func NewPrediction(tb, expected float64) Prediction {
+	p := Prediction{ExpectedTime: expected}
+	if expected > 0 {
+		p.Efficiency = tb / expected
+	}
+	return p
+}
+
+// Model predicts application execution time under a checkpointing plan.
+type Model interface {
+	// Name identifies the technique (e.g. "dauwe", "moody").
+	Name() string
+	// Predict estimates the expected execution time of the plan on the
+	// system. Implementations must not mutate their arguments.
+	Predict(sys *system.System, plan pattern.Plan) (Prediction, error)
+}
+
+// Optimizer selects checkpoint intervals for a system.
+type Optimizer interface {
+	// Name identifies the technique.
+	Name() string
+	// Optimize returns the plan the technique would deploy on the
+	// system together with the technique's own prediction for it.
+	Optimize(sys *system.System) (pattern.Plan, Prediction, error)
+}
+
+// Technique bundles a model with its optimizer; every technique package
+// provides one.
+type Technique interface {
+	Model
+	Optimizer
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() Technique{}
+)
+
+// Register installs a technique constructor under its name. It is called
+// from the init functions of the technique packages and panics on
+// duplicates (a programming error).
+func Register(name string, ctor func() Technique) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("model: duplicate technique %q", name))
+	}
+	registry[name] = ctor
+}
+
+// New instantiates a registered technique by name.
+func New(name string) (Technique, error) {
+	regMu.RLock()
+	ctor, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("model: unknown technique %q (have %v)", name, RegisteredNames())
+	}
+	return ctor(), nil
+}
+
+// RegisteredNames lists the registered techniques in sorted order.
+func RegisteredNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,74 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/system"
+)
+
+type fakeTechnique struct{ name string }
+
+func (f *fakeTechnique) Name() string { return f.name }
+func (f *fakeTechnique) Predict(*system.System, pattern.Plan) (Prediction, error) {
+	return Prediction{}, nil
+}
+func (f *fakeTechnique) Optimize(*system.System) (pattern.Plan, Prediction, error) {
+	return pattern.Plan{}, Prediction{}, nil
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	Register("fake-technique", func() Technique { return &fakeTechnique{name: "fake-technique"} })
+	tech, err := New("fake-technique")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tech.Name() != "fake-technique" {
+		t.Fatalf("name = %s", tech.Name())
+	}
+	found := false
+	for _, n := range RegisteredNames() {
+		if n == "fake-technique" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("RegisteredNames missing fake-technique: %v", RegisteredNames())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	Register("dup-technique", func() Technique { return &fakeTechnique{} })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register("dup-technique", func() Technique { return &fakeTechnique{} })
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("never-registered"); err == nil {
+		t.Fatal("unknown technique accepted")
+	}
+}
+
+func TestNewPrediction(t *testing.T) {
+	p := NewPrediction(100, 125)
+	if p.Efficiency != 0.8 || p.ExpectedTime != 125 {
+		t.Fatalf("prediction = %+v", p)
+	}
+	z := NewPrediction(100, 0)
+	if z.Efficiency != 0 {
+		t.Fatalf("zero expected time: %+v", z)
+	}
+}
+
+func TestRegisteredNamesSorted(t *testing.T) {
+	names := RegisteredNames()
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}

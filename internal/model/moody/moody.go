@@ -1,0 +1,155 @@
+// Package moody reimplements the SCR Markov model of Moody, Bronevetsky,
+// Mohror and de Supinski [5]: an exact Markov-chain expected-time
+// analysis of one pattern period, used both to predict application
+// efficiency and to brute-force-search checkpoint intervals.
+//
+// The two assumptions the paper isolates as the causes of this model's
+// behavior are preserved faithfully (Sections IV-F and IV-G):
+//
+//   - steady-state objective: the model optimizes the efficiency of one
+//     pattern period and is blind to the application's execution time
+//     T_B, so it always schedules top-level checkpoints — even for
+//     applications shorter than the mean time between top-severity
+//     failures;
+//   - pessimistic restart escalation: a failure occurring during a
+//     level-i restart forces recovery from a level-i+1 checkpoint,
+//     producing an unrealistic escalation of failure levels at extreme
+//     scale and the systematic efficiency underestimation of Figure 6.
+//
+// Failures during checkpoints and restarts are modeled (the Markov chain
+// makes that exact), which is why this model tracks the simulation much
+// more closely than Di's or Benoit's on the hard systems.
+package moody
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/markov"
+	"repro/internal/model"
+	"repro/internal/optimize"
+	"repro/internal/pattern"
+	"repro/internal/system"
+)
+
+func init() {
+	model.Register("moody", func() model.Technique { return New() })
+}
+
+// Technique is the Moody et al. SCR Markov model + optimizer.
+type Technique struct {
+	// Tau0Points is the τ0 grid resolution of the optimizer sweep.
+	Tau0Points int
+	// CountVals is the N_i candidate set of the optimizer sweep.
+	CountVals []int
+	// MaxPeriodIntervals bounds the period length the sweep evaluates
+	// (the Markov solve is linear in period length).
+	MaxPeriodIntervals int
+	// Workers bounds optimizer parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// New returns the technique with reproduction settings.
+func New() *Technique {
+	return &Technique{
+		Tau0Points:         64,
+		CountVals:          optimize.DefaultCounts(),
+		MaxPeriodIntervals: 512,
+	}
+}
+
+// Name implements model.Model.
+func (*Technique) Name() string { return "moody" }
+
+// BuildChain translates a full-level pattern plan into the Markov period
+// chain under Moody's escalation policy. Exported for tests and for the
+// simulator cross-validation harness.
+func BuildChain(sys *system.System, plan pattern.Plan) (*markov.Chain, error) {
+	if plan.NumUsed() != sys.NumLevels() {
+		return nil, fmt.Errorf("moody: steady-state model requires all %d levels, plan uses %d",
+			sys.NumLevels(), plan.NumUsed())
+	}
+	c := &markov.Chain{Policy: markov.Escalate}
+	for sev := 1; sev <= sys.NumLevels(); sev++ {
+		c.Rates = append(c.Rates, sys.LevelRate(sev))
+		c.RestartTime = append(c.RestartTime, sys.Levels[sev-1].Restart)
+	}
+	n := plan.PeriodIntervals()
+	c.Segments = make([]markov.Segment, 0, 2*n)
+	for k := 0; k < n; k++ {
+		c.Segments = append(c.Segments, markov.Segment{
+			Kind: markov.Compute, Duration: plan.Tau0,
+		})
+		used := plan.LevelAfterInterval(k)
+		lvl := plan.Levels[used]
+		c.Segments = append(c.Segments, markov.Segment{
+			Kind:     markov.Checkpoint,
+			Duration: sys.Levels[lvl-1].Checkpoint,
+			Level:    lvl,
+		})
+	}
+	return c, nil
+}
+
+// PeriodEfficiency returns work/time for one pattern period.
+func PeriodEfficiency(sys *system.System, plan pattern.Plan) (float64, error) {
+	c, err := BuildChain(sys, plan)
+	if err != nil {
+		return 0, err
+	}
+	t, err := c.ExpectedPeriodTime()
+	if err != nil {
+		return 0, err
+	}
+	if math.IsInf(t, 1) {
+		return 0, nil
+	}
+	return c.Work() / t, nil
+}
+
+// Predict evaluates the Markov model. Being steady-state, the predicted
+// application time is T_B divided by the period efficiency.
+func (*Technique) Predict(sys *system.System, plan pattern.Plan) (model.Prediction, error) {
+	if err := plan.Validate(sys); err != nil {
+		return model.Prediction{}, err
+	}
+	eff, err := PeriodEfficiency(sys, plan)
+	if err != nil {
+		return model.Prediction{}, err
+	}
+	if !(eff > 0) {
+		return model.NewPrediction(sys.BaselineTime, math.Inf(1)), nil
+	}
+	return model.NewPrediction(sys.BaselineTime, sys.BaselineTime/eff), nil
+}
+
+// Optimize brute-force-searches full-level patterns for the best period
+// efficiency, exactly as [5] describes ("a brute-force search of all
+// possible checkpoint intervals").
+func (t *Technique) Optimize(sys *system.System) (pattern.Plan, model.Prediction, error) {
+	if err := sys.Validate(); err != nil {
+		return pattern.Plan{}, model.Prediction{}, err
+	}
+	space := optimize.Space{
+		Tau0:               optimize.Tau0Grid(sys, t.Tau0Points),
+		CountVals:          t.CountVals,
+		LevelSets:          [][]int{pattern.AllLevels(sys)},
+		MaxPeriodIntervals: t.MaxPeriodIntervals,
+		Workers:            t.Workers,
+		RefineTau0:         true,
+	}
+	res, err := optimize.Sweep(space, func(p pattern.Plan) (float64, bool) {
+		eff, err := PeriodEfficiency(sys, p)
+		if err != nil || !(eff > 0) {
+			return 0, false
+		}
+		// Minimizing 1/efficiency maximizes efficiency.
+		return 1 / eff, true
+	})
+	if err != nil {
+		return pattern.Plan{}, model.Prediction{}, err
+	}
+	return res.Plan, model.NewPrediction(sys.BaselineTime, sys.BaselineTime*res.ExpectedTime), nil
+}
+
+var _ model.Technique = (*Technique)(nil)

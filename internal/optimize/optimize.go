@@ -1,0 +1,267 @@
+// Package optimize implements the checkpoint-interval search of the
+// paper's Section III-C: a bounded brute-force sweep over the decision
+// variables (τ0, N_1..N_{ℓ-1}, and — for the Section IV-F study — the
+// subset of levels a plan uses), evaluated in parallel across worker
+// goroutines, with an optional golden-section refinement of τ0 around the
+// best grid point.
+package optimize
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/pattern"
+	"repro/internal/system"
+)
+
+// Objective evaluates a candidate plan and returns its expected execution
+// time in minutes. ok=false rejects the candidate (invalid or out of the
+// model's domain). Objectives must be safe for concurrent use.
+type Objective func(plan pattern.Plan) (expectedTime float64, ok bool)
+
+// Space bounds the brute-force sweep.
+type Space struct {
+	// Tau0 holds the candidate computation intervals in minutes.
+	Tau0 []float64
+	// CountVals holds the candidate values for each N_i.
+	CountVals []int
+	// LevelSets holds the candidate used-level subsets (ascending,
+	// 1-based system levels).
+	LevelSets [][]int
+	// MaxPeriodIntervals skips patterns whose top-level period spans
+	// more than this many τ0 intervals (0 = unbounded). Models with
+	// per-segment cost (the Markov chain) use it to bound work.
+	MaxPeriodIntervals int
+	// Workers is the sweep parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// RefineTau0 enables golden-section refinement of τ0 around the
+	// best grid point, holding the level set and counts fixed.
+	RefineTau0 bool
+}
+
+// Result is the outcome of a sweep.
+type Result struct {
+	Plan         pattern.Plan
+	ExpectedTime float64
+	Evaluated    int // number of objective evaluations
+}
+
+// ErrNoFeasiblePlan is returned when every candidate was rejected.
+var ErrNoFeasiblePlan = errors.New("optimize: no feasible plan in search space")
+
+// Sweep minimizes the objective over the space.
+func Sweep(space Space, objective Objective) (Result, error) {
+	if len(space.Tau0) == 0 || len(space.LevelSets) == 0 {
+		return Result{}, errors.New("optimize: empty search space")
+	}
+	workers := space.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(space.Tau0) {
+		workers = len(space.Tau0)
+	}
+
+	type best struct {
+		plan  pattern.Plan
+		time  float64
+		evals int
+		found bool
+	}
+	results := make([]best, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			b := best{time: math.Inf(1)}
+			for ti := w; ti < len(space.Tau0); ti += workers {
+				tau0 := space.Tau0[ti]
+				if !(tau0 > 0) {
+					continue
+				}
+				for _, levels := range space.LevelSets {
+					forEachCounts(len(levels)-1, space.CountVals, func(counts []int) {
+						intervals := 1
+						for _, c := range counts {
+							intervals *= c + 1
+						}
+						if space.MaxPeriodIntervals > 0 && intervals > space.MaxPeriodIntervals {
+							return
+						}
+						plan := pattern.Plan{
+							Tau0:   tau0,
+							Counts: append([]int(nil), counts...),
+							Levels: levels,
+						}
+						b.evals++
+						t, ok := objective(plan)
+						if ok && t < b.time && !math.IsNaN(t) {
+							b.time = t
+							b.plan = plan
+							b.found = true
+						}
+					})
+				}
+			}
+			results[w] = b
+		}(w)
+	}
+	wg.Wait()
+
+	out := Result{ExpectedTime: math.Inf(1)}
+	found := false
+	for _, b := range results {
+		out.Evaluated += b.evals
+		if b.found && b.time < out.ExpectedTime {
+			out.ExpectedTime = b.time
+			out.Plan = b.plan
+			found = true
+		}
+	}
+	if !found {
+		return Result{Evaluated: out.Evaluated}, ErrNoFeasiblePlan
+	}
+	if space.RefineTau0 {
+		refined, t := refineTau0(out.Plan, out.ExpectedTime, space.Tau0, objective)
+		out.Plan, out.ExpectedTime = refined, t
+	}
+	return out, nil
+}
+
+// forEachCounts enumerates all count vectors of the given length over the
+// candidate values. A zero-length vector yields one empty enumeration.
+func forEachCounts(n int, vals []int, fn func([]int)) {
+	if n <= 0 {
+		fn(nil)
+		return
+	}
+	if len(vals) == 0 {
+		return
+	}
+	counts := make([]int, n)
+	idx := make([]int, n)
+	for {
+		for i := range counts {
+			counts[i] = vals[idx[i]]
+		}
+		fn(counts)
+		// Odometer increment.
+		i := n - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(vals) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// refineTau0 golden-section-searches τ0 between the grid neighbors of the
+// best point, keeping levels and counts fixed. Falls back to the grid
+// optimum if refinement finds nothing better.
+func refineTau0(p pattern.Plan, bestT float64, grid []float64, objective Objective) (pattern.Plan, float64) {
+	lo, hi := neighbors(grid, p.Tau0)
+	eval := func(tau float64) float64 {
+		q := p
+		q.Tau0 = tau
+		t, ok := objective(q)
+		if !ok || math.IsNaN(t) {
+			return math.Inf(1)
+		}
+		return t
+	}
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := eval(x1), eval(x2)
+	for i := 0; i < 60 && b-a > 1e-9*(1+b); i++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = eval(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = eval(x2)
+		}
+	}
+	tau := (a + b) / 2
+	if t := eval(tau); t < bestT {
+		q := p
+		q.Tau0 = tau
+		return q, t
+	}
+	return p, bestT
+}
+
+// neighbors returns the grid values bracketing x (or x itself scaled when
+// x sits at an end of the grid).
+func neighbors(grid []float64, x float64) (lo, hi float64) {
+	lo, hi = x/2, x*2
+	for _, g := range grid {
+		if g < x && g > lo {
+			lo = g
+		}
+		if g > x && g < hi {
+			hi = g
+		}
+	}
+	return lo, hi
+}
+
+// Tau0Grid builds a log-spaced τ0 candidate grid spanning (0, T_B): from
+// a small fraction of the cheapest checkpoint (or minFrac·T_B, whichever
+// is larger) up to the baseline time.
+func Tau0Grid(sys *system.System, points int) []float64 {
+	if points < 2 {
+		points = 2
+	}
+	minCkpt := math.Inf(1)
+	for _, l := range sys.Levels {
+		if l.Checkpoint < minCkpt {
+			minCkpt = l.Checkpoint
+		}
+	}
+	lo := minCkpt / 8
+	if lo < sys.BaselineTime*1e-6 {
+		lo = sys.BaselineTime * 1e-6
+	}
+	hi := sys.BaselineTime
+	if lo >= hi {
+		lo = hi / 1024
+	}
+	out := make([]float64, points)
+	ratio := math.Pow(hi/lo, 1/float64(points-1))
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	out[points-1] = hi
+	return out
+}
+
+// DefaultCounts is the shared N_i candidate set: dense for small values
+// where the optimum usually lies, geometric above.
+func DefaultCounts() []int {
+	return []int{0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 48, 64}
+}
+
+// PrefixLevelSets returns the level subsets {1..ℓ} for ℓ = 1..L — the
+// level-exclusion family of the paper's Section IV-F (a short
+// application may be better off skipping the costly top levels).
+func PrefixLevelSets(numLevels int) [][]int {
+	out := make([][]int, numLevels)
+	for l := 1; l <= numLevels; l++ {
+		out[l-1] = pattern.LowestLevels(l)
+	}
+	return out
+}

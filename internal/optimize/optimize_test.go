@@ -1,0 +1,255 @@
+package optimize
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/system"
+)
+
+func testSys() *system.System {
+	return &system.System{
+		Name:         "opt",
+		MTBF:         50,
+		BaselineTime: 500,
+		Levels: []system.Level{
+			{Checkpoint: 0.5, Restart: 0.5, SeverityProb: 0.8},
+			{Checkpoint: 4, Restart: 4, SeverityProb: 0.2},
+		},
+	}
+}
+
+func TestSweepFindsAnalyticOptimum(t *testing.T) {
+	// Objective with a known unique optimum: quadratic bowl in τ0
+	// centered at 3.0, preferring counts [2] and levels [1 2].
+	obj := func(p pattern.Plan) (float64, bool) {
+		v := (p.Tau0 - 3) * (p.Tau0 - 3)
+		if len(p.Counts) == 1 {
+			d := float64(p.Counts[0] - 2)
+			v += d * d
+		} else {
+			v += 100
+		}
+		return 1 + v, true
+	}
+	space := Space{
+		Tau0:      []float64{0.5, 1, 2, 3, 4, 8},
+		CountVals: []int{0, 1, 2, 3, 4},
+		LevelSets: [][]int{{1}, {1, 2}},
+		Workers:   3,
+	}
+	res, err := Sweep(space, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Tau0 != 3 || len(res.Plan.Counts) != 1 || res.Plan.Counts[0] != 2 {
+		t.Fatalf("best plan = %v", res.Plan)
+	}
+	if res.ExpectedTime != 1 {
+		t.Fatalf("best value = %v", res.ExpectedTime)
+	}
+	// Evaluations: levels{1}: 6 τ0 × 1 = 6; levels{1,2}: 6 τ0 × 5 = 30.
+	if res.Evaluated != 36 {
+		t.Fatalf("evaluated = %d, want 36", res.Evaluated)
+	}
+}
+
+func TestSweepRefinement(t *testing.T) {
+	// Continuous optimum at τ0 = e (between grid points 2 and 3).
+	obj := func(p pattern.Plan) (float64, bool) {
+		return 1 + (p.Tau0-math.E)*(p.Tau0-math.E), true
+	}
+	space := Space{
+		Tau0:       []float64{1, 2, 3, 4},
+		LevelSets:  [][]int{{1}},
+		RefineTau0: true,
+	}
+	res, err := Sweep(space, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Plan.Tau0-math.E) > 1e-6 {
+		t.Fatalf("refined τ0 = %v, want e", res.Plan.Tau0)
+	}
+}
+
+func TestSweepAllRejected(t *testing.T) {
+	obj := func(pattern.Plan) (float64, bool) { return 0, false }
+	space := Space{Tau0: []float64{1, 2}, LevelSets: [][]int{{1}}}
+	_, err := Sweep(space, obj)
+	if err != ErrNoFeasiblePlan {
+		t.Fatalf("err = %v, want ErrNoFeasiblePlan", err)
+	}
+}
+
+func TestSweepEmptySpace(t *testing.T) {
+	obj := func(pattern.Plan) (float64, bool) { return 1, true }
+	if _, err := Sweep(Space{}, obj); err == nil {
+		t.Fatal("empty space accepted")
+	}
+	if _, err := Sweep(Space{Tau0: []float64{1}}, obj); err == nil {
+		t.Fatal("no level sets accepted")
+	}
+}
+
+func TestSweepRejectsNaNAndInf(t *testing.T) {
+	obj := func(p pattern.Plan) (float64, bool) {
+		if p.Tau0 == 1 {
+			return math.NaN(), true
+		}
+		if p.Tau0 == 2 {
+			return math.Inf(1), true
+		}
+		return 10, true
+	}
+	space := Space{Tau0: []float64{1, 2, 3}, LevelSets: [][]int{{1}}}
+	res, err := Sweep(space, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Tau0 != 3 {
+		t.Fatalf("picked %v", res.Plan)
+	}
+}
+
+func TestMaxPeriodIntervalsPrunes(t *testing.T) {
+	var seen []int
+	obj := func(p pattern.Plan) (float64, bool) {
+		seen = append(seen, p.PeriodIntervals())
+		return 1, true
+	}
+	space := Space{
+		Tau0:               []float64{1},
+		CountVals:          []int{0, 3, 9},
+		LevelSets:          [][]int{{1, 2}},
+		MaxPeriodIntervals: 5,
+		Workers:            1,
+	}
+	if _, err := Sweep(space, obj); err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(seen)
+	// Periods: N+1 ∈ {1, 4, 10}; 10 pruned.
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 4 {
+		t.Fatalf("seen periods %v", seen)
+	}
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	obj := func(p pattern.Plan) (float64, bool) {
+		return p.Tau0 + float64(p.PeriodIntervals()), true
+	}
+	space := Space{
+		Tau0:      Tau0Grid(testSys(), 16),
+		CountVals: []int{0, 1, 2},
+		LevelSets: PrefixLevelSets(2),
+	}
+	space.Workers = 1
+	r1, err := Sweep(space, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space.Workers = 7
+	r7, err := Sweep(space, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ExpectedTime != r7.ExpectedTime {
+		t.Fatalf("worker count changed optimum: %v vs %v", r1.ExpectedTime, r7.ExpectedTime)
+	}
+	if r1.Evaluated != r7.Evaluated {
+		t.Fatalf("worker count changed eval count: %d vs %d", r1.Evaluated, r7.Evaluated)
+	}
+}
+
+func TestForEachCounts(t *testing.T) {
+	var got [][]int
+	forEachCounts(2, []int{0, 1}, func(c []int) {
+		got = append(got, append([]int(nil), c...))
+	})
+	if len(got) != 4 {
+		t.Fatalf("enumerated %d vectors, want 4", len(got))
+	}
+	want := [][]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("enumeration = %v", got)
+		}
+	}
+	n := 0
+	forEachCounts(0, []int{1, 2, 3}, func(c []int) {
+		if len(c) != 0 {
+			t.Fatal("zero-length vector should be empty")
+		}
+		n++
+	})
+	if n != 1 {
+		t.Fatalf("zero-length enumeration ran %d times", n)
+	}
+	forEachCounts(2, nil, func([]int) { t.Fatal("no vals should not enumerate") })
+}
+
+func TestTau0Grid(t *testing.T) {
+	sys := testSys()
+	g := Tau0Grid(sys, 32)
+	if len(g) != 32 {
+		t.Fatalf("len = %d", len(g))
+	}
+	if g[len(g)-1] != sys.BaselineTime {
+		t.Fatalf("grid must end at T_B: %v", g[len(g)-1])
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatalf("grid not increasing at %d: %v", i, g[i-1:i+1])
+		}
+	}
+	if g[0] <= 0 || g[0] > sys.Levels[0].Checkpoint {
+		t.Fatalf("grid start %v implausible", g[0])
+	}
+	if got := Tau0Grid(sys, 1); len(got) != 2 {
+		t.Fatalf("points floor failed: %d", len(got))
+	}
+}
+
+func TestPrefixLevelSets(t *testing.T) {
+	sets := PrefixLevelSets(3)
+	if len(sets) != 3 {
+		t.Fatalf("len = %d", len(sets))
+	}
+	if len(sets[0]) != 1 || sets[0][0] != 1 {
+		t.Fatalf("sets[0] = %v", sets[0])
+	}
+	if len(sets[2]) != 3 || sets[2][2] != 3 {
+		t.Fatalf("sets[2] = %v", sets[2])
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	grid := []float64{1, 2, 4, 8}
+	lo, hi := neighbors(grid, 4)
+	if lo != 2 || hi != 8 {
+		t.Fatalf("neighbors(4) = %v,%v", lo, hi)
+	}
+	lo, hi = neighbors(grid, 1)
+	if lo != 0.5 || hi != 2 {
+		t.Fatalf("neighbors(1) = %v,%v", lo, hi)
+	}
+	lo, hi = neighbors(grid, 8)
+	if lo != 4 || hi != 16 {
+		t.Fatalf("neighbors(8) = %v,%v", lo, hi)
+	}
+}
+
+func TestDefaultCountsSortedUnique(t *testing.T) {
+	c := DefaultCounts()
+	for i := 1; i < len(c); i++ {
+		if c[i] <= c[i-1] {
+			t.Fatalf("counts not strictly increasing: %v", c)
+		}
+	}
+	if c[0] != 0 {
+		t.Fatal("counts must include 0 (no checkpoints of a level)")
+	}
+}

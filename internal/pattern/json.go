@@ -1,0 +1,40 @@
+package pattern
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/system"
+)
+
+// jsonPlan is the serialized form of a Plan; tools exchange optimized
+// plans through it (mlckpt -plan-out → simtrace -plan-in).
+type jsonPlan struct {
+	Tau0Minutes float64 `json:"tau0_minutes"`
+	Counts      []int   `json:"counts,omitempty"`
+	Levels      []int   `json:"levels"`
+}
+
+// WriteJSON serializes the plan.
+func (p Plan) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonPlan{Tau0Minutes: p.Tau0, Counts: p.Counts, Levels: p.Levels})
+}
+
+// ReadJSON deserializes a plan and validates it against the system it
+// will run on.
+func ReadJSON(r io.Reader, sys *system.System) (Plan, error) {
+	var jp jsonPlan
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jp); err != nil {
+		return Plan{}, fmt.Errorf("pattern: decode: %w", err)
+	}
+	p := Plan{Tau0: jp.Tau0Minutes, Counts: jp.Counts, Levels: jp.Levels}
+	if err := p.Validate(sys); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}

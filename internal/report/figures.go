@@ -1,0 +1,166 @@
+package report
+
+import (
+	"io"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/svg"
+)
+
+// gridToBars converts a cell grid into bar-chart series: simulated means
+// as bars, standard deviations as whiskers, model predictions as
+// diamonds.
+func gridToBars(scenarios []string, techniques []string, cells [][]experiments.Cell) []svg.Series {
+	series := make([]svg.Series, len(techniques))
+	for si, tech := range techniques {
+		s := svg.Series{
+			Name:     tech,
+			Values:   make([]float64, len(scenarios)),
+			Whiskers: make([]float64, len(scenarios)),
+			Markers:  make([]float64, len(scenarios)),
+		}
+		for i := range scenarios {
+			c := cells[i][si]
+			s.Values[i] = c.Sim.Efficiency.Mean
+			s.Whiskers[i] = c.Sim.Efficiency.Std
+			s.Markers[i] = c.Predicted.Efficiency
+		}
+		series[si] = s
+	}
+	return series
+}
+
+// Fig2SVG renders Figure 2 as an SVG image.
+func Fig2SVG(w io.Writer, r *experiments.Fig2Result) error {
+	chart := &svg.BarChart{
+		Title:      "Figure 2 — efficiency per technique across the Table I systems",
+		YLabel:     "efficiency",
+		Categories: r.Systems,
+		Series:     gridToBars(r.Systems, r.Techniques, r.Cells),
+		YMax:       1,
+	}
+	return chart.Render(w)
+}
+
+// BreakdownComponents are the Figure 3 stack slices, bottom first.
+var BreakdownComponents = []string{
+	"useful compute", "lost work", "checkpoint ok", "checkpoint failed", "restart ok", "restart failed",
+}
+
+// Fig3SVG renders Figure 3 as an SVG image.
+func Fig3SVG(w io.Writer, r *experiments.Fig3Result) error {
+	var cats []string
+	var shares [][]float64
+	for i, sysName := range r.Systems {
+		for _, c := range r.Cells[i] {
+			cats = append(cats, sysName+"/"+c.Technique)
+			b := c.Sim.BreakdownShare
+			shares = append(shares, []float64{
+				b.UsefulCompute, b.LostCompute, b.CheckpointOK,
+				b.CheckpointFail, b.RestartOK, b.RestartFail,
+			})
+		}
+	}
+	chart := &svg.StackedBar{
+		Title:      "Figure 3 — percentage of application time per event category",
+		Categories: cats,
+		Components: BreakdownComponents,
+		Shares:     shares,
+	}
+	return chart.Render(w)
+}
+
+// Fig4SVG renders one Figure 4/5 grid as an SVG image.
+func Fig4SVG(w io.Writer, r *experiments.Fig4Result, title string) error {
+	labels := make([]string, len(r.Scenarios))
+	for i, sc := range r.Scenarios {
+		labels[i] = sc.Label()
+	}
+	chart := &svg.BarChart{
+		Title:      title,
+		YLabel:     "efficiency",
+		Categories: labels,
+		Series:     gridToBars(labels, r.Techniques, r.Cells),
+		YMax:       1,
+	}
+	return chart.Render(w)
+}
+
+// Fig5SVG renders Figure 5 as an SVG image.
+func Fig5SVG(w io.Writer, r *experiments.Fig5Result) error {
+	grid := &experiments.Fig4Result{
+		Scenarios: r.Scenarios, Techniques: r.Techniques, Cells: r.Cells,
+	}
+	return Fig4SVG(w, grid, "Figure 5 — 30-minute application on the exascale grid")
+}
+
+// Fig6SVG renders Figure 6 as an SVG image.
+func Fig6SVG(w io.Writer, r *experiments.Fig6Result) error {
+	cats := make([]string, len(r.Rows))
+	series := make([]svg.Series, len(r.Techniques))
+	for si, tech := range r.Techniques {
+		series[si] = svg.Series{Name: tech, Values: make([]float64, len(r.Rows))}
+	}
+	for i, row := range r.Rows {
+		cats[i] = strconv.Itoa(i + 1)
+		for si := range r.Techniques {
+			series[si].Values[i] = row.Errors[si]
+		}
+	}
+	chart := &svg.Scatter{
+		Title:      "Figure 6 — prediction error (predicted − simulated efficiency)",
+		YLabel:     "prediction error",
+		Categories: cats,
+		Series:     series,
+	}
+	return chart.Render(w)
+}
+
+// TableISVG renders the Table I catalog as a simple SVG table image so
+// every paper artifact has an image form.
+func TableISVG(w io.Writer) error {
+	var buf []string
+	{
+		var sb writerBuilder
+		if err := TableI(&sb); err != nil {
+			return err
+		}
+		buf = sb.lines
+	}
+	lineH := 16.0
+	c := svg.NewCanvas(980, lineH*float64(len(buf))+40)
+	c.Text(14, 20, "Table I — multilevel checkpointing test systems", "start", 13)
+	for i, line := range buf {
+		c.Text(14, 40+lineH*float64(i), line, "start", 11)
+	}
+	return c.Render(w)
+}
+
+// writerBuilder captures written lines (monospace table rows).
+type writerBuilder struct {
+	lines   []string
+	partial string
+}
+
+func (w *writerBuilder) Write(p []byte) (int, error) {
+	w.partial += string(p)
+	for {
+		i := indexByte(w.partial, '\n')
+		if i < 0 {
+			break
+		}
+		w.lines = append(w.lines, w.partial[:i])
+		w.partial = w.partial[i+1:]
+	}
+	return len(p), nil
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,128 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func assertSVG(t *testing.T, buf *bytes.Buffer, wants ...string) {
+	t.Helper()
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatalf("not a complete SVG document: %.80q...", out)
+	}
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("SVG missing %q", w)
+		}
+	}
+}
+
+func TestFig2SVG(t *testing.T) {
+	r := &experiments.Fig2Result{
+		Systems:    []string{"M", "D1"},
+		Techniques: []string{"dauwe", "daly"},
+		Cells: [][]experiments.Cell{
+			{cell("M", "dauwe", 0.95, 0.96), cell("M", "daly", 0.90, 0.91)},
+			{cell("D1", "dauwe", 0.80, 0.81), cell("D1", "daly", 0.60, 0.62)},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Fig2SVG(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	assertSVG(t, &buf, "Figure 2", "dauwe", "D1")
+}
+
+func TestFig3SVG(t *testing.T) {
+	r := &experiments.Fig3Result{
+		Systems:    []string{"D8"},
+		Techniques: []string{"dauwe", "di"},
+		Cells: [][]experiments.Cell{
+			{cell("D8", "dauwe", 0.1, 0.12), cell("D8", "di", 0.1, 0.2)},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Fig3SVG(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	assertSVG(t, &buf, "Figure 3", "D8/dauwe", "restart failed")
+}
+
+func TestFig4And5SVG(t *testing.T) {
+	g := fakeGrid()
+	var buf bytes.Buffer
+	if err := Fig4SVG(&buf, g, "grid title"); err != nil {
+		t.Fatal(err)
+	}
+	assertSVG(t, &buf, "grid title", "mtbf=26/pfs=10")
+
+	r5 := &experiments.Fig5Result{Scenarios: g.Scenarios, Techniques: g.Techniques, Cells: g.Cells}
+	buf.Reset()
+	if err := Fig5SVG(&buf, r5); err != nil {
+		t.Fatal(err)
+	}
+	assertSVG(t, &buf, "Figure 5")
+}
+
+func TestFig6SVGRender(t *testing.T) {
+	r := &experiments.Fig6Result{
+		Techniques: []string{"dauwe", "di", "moody"},
+		Rows: []experiments.Fig6Row{
+			{Scenario: "a", Errors: []float64{0.01, 0.1, -0.05}},
+			{Scenario: "b", Errors: []float64{0.00, 0.2, -0.07}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Fig6SVG(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	assertSVG(t, &buf, "Figure 6", "moody")
+}
+
+func TestTableISVGRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TableISVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	assertSVG(t, &buf, "Table I", "D9")
+}
+
+func TestAblationRender(t *testing.T) {
+	r := &experiments.AblationResult{
+		Name: "x", BaseLabel: "base", VariantLabel: "variant",
+		Rows: []experiments.AblationRow{{System: "D4", Plan: "p"}},
+	}
+	var buf bytes.Buffer
+	if err := Ablation(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Δ efficiency") || !strings.Contains(buf.String(), "D4") {
+		t.Fatalf("ablation table wrong:\n%s", buf.String())
+	}
+}
+
+func TestSensitivityRender(t *testing.T) {
+	r := &experiments.SensitivityResult{
+		System: "D4",
+		Points: []experiments.SensitivityPoint{
+			{Multiplier: 0.5, Tau0: 0.65, Predicted: 0.58},
+			{Multiplier: 1, Tau0: 1.3, Predicted: 0.63},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Sensitivity(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "×optimal") {
+		t.Fatalf("sensitivity table wrong:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := SensitivitySVG(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	assertSVG(t, &buf, "×0.5", "D4")
+}

@@ -1,0 +1,299 @@
+// Package report renders experiment results as aligned text tables and
+// CSV series — the "same rows the paper reports" output of the
+// reproduction harness.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/svg"
+	"repro/internal/system"
+)
+
+// Table is a simple aligned text table builder.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.header) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = displayWidth(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && displayWidth(c) > widths[i] {
+				widths[i] = displayWidth(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-displayWidth(c)))
+			}
+		}
+		b.WriteString("\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeRow(t.header); err != nil {
+		return err
+	}
+	var rule []string
+	for _, w := range widths {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	if err := writeRow(rule); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// displayWidth counts runes, which keeps Greek letters (τ, δ) aligned.
+func displayWidth(s string) int { return len([]rune(s)) }
+
+func f3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+func pct(v float64) string {
+	return strconv.FormatFloat(100*v, 'f', 1, 64) + "%"
+}
+
+// TableI renders the Table I test-system catalog.
+func TableI(w io.Writer) error {
+	t := NewTable("system", "source", "levels", "MTBF (min)", "severity probs", "C/R times (min)", "T_B (min)")
+	for _, s := range system.TableI() {
+		var probs, times []string
+		for _, l := range s.Levels {
+			probs = append(probs, strconv.FormatFloat(l.SeverityProb, 'f', 3, 64))
+			times = append(times, strconv.FormatFloat(l.Checkpoint, 'g', -1, 64))
+		}
+		t.AddRow(
+			s.Name, s.Source, strconv.Itoa(s.NumLevels()),
+			strconv.FormatFloat(s.MTBF, 'f', 2, 64),
+			"("+strings.Join(probs, ", ")+")",
+			"("+strings.Join(times, ", ")+")",
+			strconv.FormatFloat(s.BaselineTime, 'f', 1, 64),
+		)
+	}
+	return t.Render(w)
+}
+
+// Fig2 renders the Figure 2 efficiency comparison.
+func Fig2(w io.Writer, r *experiments.Fig2Result) error {
+	if _, err := fmt.Fprintln(w, "Figure 2 — simulated efficiency (mean ± σ) and model prediction per technique"); err != nil {
+		return err
+	}
+	header := []string{"system"}
+	for _, tech := range r.Techniques {
+		header = append(header, tech+" sim", tech+" pred")
+	}
+	t := NewTable(header...)
+	for i, sysName := range r.Systems {
+		row := []string{sysName}
+		for _, c := range r.Cells[i] {
+			row = append(row,
+				fmt.Sprintf("%s±%s", f3(c.Sim.Efficiency.Mean), f3(c.Sim.Efficiency.Std)),
+				f3(c.Predicted.Efficiency))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render(w)
+}
+
+// Fig3 renders the Figure 3 time breakdown (percent of execution time).
+func Fig3(w io.Writer, r *experiments.Fig3Result) error {
+	if _, err := fmt.Fprintln(w, "Figure 3 — percentage of application time per event category"); err != nil {
+		return err
+	}
+	t := NewTable("system", "technique", "useful", "lost work", "ckpt ok", "ckpt failed", "restart ok", "restart failed")
+	for i, sysName := range r.Systems {
+		for _, c := range r.Cells[i] {
+			b := c.Sim.BreakdownShare
+			t.AddRow(sysName, c.Technique,
+				pct(b.UsefulCompute), pct(b.LostCompute),
+				pct(b.CheckpointOK), pct(b.CheckpointFail),
+				pct(b.RestartOK), pct(b.RestartFail))
+		}
+	}
+	return t.Render(w)
+}
+
+// Fig4 renders the Figure 4 exascale grid (also used for Figure 5's
+// cells).
+func Fig4(w io.Writer, r *experiments.Fig4Result, title string) error {
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	header := []string{"scenario"}
+	for _, tech := range r.Techniques {
+		header = append(header, tech+" sim", tech+" pred", tech+" plan")
+	}
+	t := NewTable(header...)
+	for i, sc := range r.Scenarios {
+		row := []string{sc.Label()}
+		for _, c := range r.Cells[i] {
+			row = append(row,
+				fmt.Sprintf("%s±%s", f3(c.Sim.Efficiency.Mean), f3(c.Sim.Efficiency.Std)),
+				f3(c.Predicted.Efficiency),
+				c.Plan.String())
+		}
+		t.AddRow(row...)
+	}
+	return t.Render(w)
+}
+
+// Fig5 renders the short-application study with significance verdicts.
+func Fig5(w io.Writer, r *experiments.Fig5Result) error {
+	grid := &experiments.Fig4Result{
+		Scenarios: r.Scenarios, Techniques: r.Techniques, Cells: r.Cells,
+	}
+	if err := Fig4(w, grid, "Figure 5 — 30-minute application on the exascale grid"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "\nWelch one-sided 95% test: Dauwe > Moody?"); err != nil {
+		return err
+	}
+	t := NewTable("scenario", "dauwe mean", "moody mean", "significant")
+	di := techniqueIndex(r.Techniques, "dauwe")
+	mi := techniqueIndex(r.Techniques, "moody")
+	for i, sc := range r.Scenarios {
+		t.AddRow(sc.Label(),
+			f3(r.Cells[i][di].Sim.Efficiency.Mean),
+			f3(r.Cells[i][mi].Sim.Efficiency.Mean),
+			fmt.Sprintf("%v", r.DauweBeatsMoody[i]))
+	}
+	return t.Render(w)
+}
+
+func techniqueIndex(xs []string, want string) int {
+	for i, x := range xs {
+		if x == want {
+			return i
+		}
+	}
+	return 0
+}
+
+// Fig6 renders the prediction-error comparison.
+func Fig6(w io.Writer, r *experiments.Fig6Result) error {
+	if _, err := fmt.Fprintln(w, "Figure 6 — prediction error (predicted − simulated efficiency), sorted by |moody| error"); err != nil {
+		return err
+	}
+	header := []string{"#", "scenario"}
+	header = append(header, r.Techniques...)
+	t := NewTable(header...)
+	for i, row := range r.Rows {
+		cells := []string{strconv.Itoa(i + 1), row.Scenario}
+		for _, e := range row.Errors {
+			cells = append(cells, fmt.Sprintf("%+.3f", e))
+		}
+		t.AddRow(cells...)
+	}
+	return t.Render(w)
+}
+
+// CellsCSV writes any cell grid as CSV rows:
+// scenario,technique,sim_mean,sim_std,predicted,plan.
+func CellsCSV(w io.Writer, scenarios []string, techniques []string, cells [][]experiments.Cell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scenario", "technique", "sim_mean", "sim_std", "predicted", "pred_error", "plan"}); err != nil {
+		return err
+	}
+	for i, sc := range scenarios {
+		for _, c := range cells[i] {
+			rec := []string{
+				sc, c.Technique,
+				f3(c.Sim.Efficiency.Mean), f3(c.Sim.Efficiency.Std),
+				f3(c.Predicted.Efficiency), fmt.Sprintf("%+.4f", c.PredictionError()),
+				c.Plan.String(),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Ablation renders a design-choice study.
+func Ablation(w io.Writer, r *experiments.AblationResult) error {
+	if _, err := fmt.Fprintf(w, "Ablation — %s: %s vs %s\n", r.Name, r.BaseLabel, r.VariantLabel); err != nil {
+		return err
+	}
+	t := NewTable("system", "plan", r.BaseLabel, r.VariantLabel, "Δ efficiency")
+	for _, row := range r.Rows {
+		t.AddRow(row.System, row.Plan,
+			fmt.Sprintf("%s±%s", f3(row.Base.Efficiency.Mean), f3(row.Base.Efficiency.Std)),
+			fmt.Sprintf("%s±%s", f3(row.Variant.Efficiency.Mean), f3(row.Variant.Efficiency.Std)),
+			fmt.Sprintf("%+.3f", row.Delta()))
+	}
+	return t.Render(w)
+}
+
+// Sensitivity renders the τ0 sensitivity sweep.
+func Sensitivity(w io.Writer, r *experiments.SensitivityResult) error {
+	if _, err := fmt.Fprintf(w, "Sensitivity — efficiency vs τ0 on %s (optimum %s)\n", r.System, r.Plan.String()); err != nil {
+		return err
+	}
+	t := NewTable("×optimal", "τ0 (min)", "predicted", "simulated")
+	for _, p := range r.Points {
+		t.AddRow(
+			strconv.FormatFloat(p.Multiplier, 'g', 3, 64),
+			strconv.FormatFloat(p.Tau0, 'f', 3, 64),
+			f3(p.Predicted),
+			fmt.Sprintf("%s±%s", f3(p.Sim.Mean), f3(p.Sim.Std)))
+	}
+	return t.Render(w)
+}
+
+// SensitivitySVG renders the sweep as a bar chart with prediction
+// diamonds.
+func SensitivitySVG(w io.Writer, r *experiments.SensitivityResult) error {
+	cats := make([]string, len(r.Points))
+	s := svg.Series{Name: "simulated"}
+	for i, p := range r.Points {
+		cats[i] = fmt.Sprintf("×%.3g", p.Multiplier)
+		s.Values = append(s.Values, p.Sim.Mean)
+		s.Whiskers = append(s.Whiskers, p.Sim.Std)
+		s.Markers = append(s.Markers, p.Predicted)
+	}
+	chart := &svg.BarChart{
+		Title:      fmt.Sprintf("Efficiency vs τ0 around the optimum — system %s", r.System),
+		YLabel:     "efficiency",
+		Categories: cats,
+		Series:     []svg.Series{s},
+		YMax:       1,
+	}
+	return chart.Render(w)
+}

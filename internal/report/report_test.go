@@ -1,0 +1,256 @@
+package report
+
+import (
+	"bytes"
+	"repro/internal/system"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/pattern"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func cell(sys, tech string, sim_, pred float64) experiments.Cell {
+	c := experiments.Cell{
+		System:    sys,
+		Technique: tech,
+		Plan:      pattern.Plan{Tau0: 2.5, Counts: []int{1}, Levels: []int{1, 2}},
+		Predicted: model.Prediction{Efficiency: pred, ExpectedTime: 1440 / pred},
+	}
+	c.Sim.Efficiency = stats.Summary{N: 200, Mean: sim_, Std: 0.01}
+	c.Sim.BreakdownShare = sim.Breakdown{
+		UsefulCompute: sim_, LostCompute: 0.3 * (1 - sim_), CheckpointOK: 0.2 * (1 - sim_),
+		CheckpointFail: 0.2 * (1 - sim_), RestartOK: 0.15 * (1 - sim_), RestartFail: 0.15 * (1 - sim_),
+	}
+	return c
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("a", "bbbb")
+	tab.AddRow("xxxxx", "y")
+	tab.AddRow("z") // short row padded
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[1], "-") {
+		t.Fatalf("missing rule: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "xxxxx  y") {
+		t.Fatalf("row misaligned: %q", lines[2])
+	}
+}
+
+func TestTableIRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TableI(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"M", "D9", "6944.45", "BlueGene/Q Mira", "1440.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I output missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 13 { // header + rule + 11 rows
+		t.Errorf("Table I has %d lines, want 13", got)
+	}
+}
+
+func TestFig2Render(t *testing.T) {
+	r := &experiments.Fig2Result{
+		Systems:    []string{"M", "D1"},
+		Techniques: []string{"dauwe", "daly"},
+		Cells: [][]experiments.Cell{
+			{cell("M", "dauwe", 0.95, 0.96), cell("M", "daly", 0.90, 0.91)},
+			{cell("D1", "dauwe", 0.80, 0.81), cell("D1", "daly", 0.60, 0.62)},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Fig2(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dauwe sim", "daly pred", "0.950±0.010", "0.620"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3Render(t *testing.T) {
+	r := &experiments.Fig3Result{
+		Systems:    []string{"D8"},
+		Techniques: []string{"dauwe"},
+		Cells:      [][]experiments.Cell{{cell("D8", "dauwe", 0.4, 0.42)}},
+	}
+	var buf bytes.Buffer
+	if err := Fig3(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"useful", "ckpt failed", "40.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func fakeGrid() *experiments.Fig4Result {
+	return &experiments.Fig4Result{
+		Scenarios: []experiments.Scenario{
+			{MTBF: 26, PFSCost: 10}, {MTBF: 3, PFSCost: 10},
+		},
+		Techniques: []string{"dauwe", "di", "moody"},
+		Cells: [][]experiments.Cell{
+			{cell("mtbf=26/pfs=10", "dauwe", 0.6, 0.61), cell("mtbf=26/pfs=10", "di", 0.58, 0.65), cell("mtbf=26/pfs=10", "moody", 0.6, 0.55)},
+			{cell("mtbf=3/pfs=10", "dauwe", 0.05, 0.06), cell("mtbf=3/pfs=10", "di", 0.04, 0.1), cell("mtbf=3/pfs=10", "moody", 0.05, 0.02)},
+		},
+	}
+}
+
+func TestFig4Render(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig4(&buf, fakeGrid(), "Figure 4 test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 4 test", "mtbf=26/pfs=10", "τ0=2.5min", "moody plan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5Render(t *testing.T) {
+	g := fakeGrid()
+	r := &experiments.Fig5Result{
+		Scenarios: g.Scenarios, Techniques: g.Techniques, Cells: g.Cells,
+		DauweBeatsMoody: []bool{true, false},
+	}
+	var buf bytes.Buffer
+	if err := Fig5(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Welch", "significant", "true", "false"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig5 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig6Render(t *testing.T) {
+	r := &experiments.Fig6Result{
+		Techniques: []string{"dauwe", "di", "moody"},
+		Rows: []experiments.Fig6Row{
+			{Scenario: "a", Errors: []float64{0.001, 0.05, -0.02}},
+			{Scenario: "b", Errors: []float64{-0.002, 0.14, -0.07}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Fig6(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"+0.050", "-0.070", "sorted by"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig6 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCellsCSV(t *testing.T) {
+	g := fakeGrid()
+	var buf bytes.Buffer
+	scens := []string{"s1", "s2"}
+	if err := CellsCSV(&buf, scens, g.Techniques, g.Cells); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+6 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "scenario,technique,sim_mean") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "s1,dauwe,0.600") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+}
+
+func TestPlanTimelineSVG(t *testing.T) {
+	sys := &system.System{
+		Name: "tl", MTBF: 100, BaselineTime: 1000,
+		Levels: []system.Level{
+			{Checkpoint: 0.5, Restart: 0.5, SeverityProb: 0.7},
+			{Checkpoint: 3, Restart: 3, SeverityProb: 0.3},
+		},
+	}
+	plan := pattern.Plan{Tau0: 5, Counts: []int{2}, Levels: []int{1, 2}}
+	var buf bytes.Buffer
+	if err := PlanTimelineSVG(&buf, sys, plan, "test timeline"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") {
+		t.Fatal("not SVG")
+	}
+	// 3 computation boxes labeled τ, checkpoints δ1 (×2) and δ2 (×1).
+	if got := strings.Count(out, ">τ<"); got != 3 {
+		t.Errorf("τ labels = %d, want 3", got)
+	}
+	if got := strings.Count(out, ">δ1<"); got != 2 {
+		t.Errorf("δ1 labels = %d, want 2", got)
+	}
+	if got := strings.Count(out, ">δ2<"); got != 1 {
+		t.Errorf("δ2 labels = %d, want 1", got)
+	}
+}
+
+func TestPlanTimelineRejects(t *testing.T) {
+	sys := &system.System{
+		Name: "tl", MTBF: 100, BaselineTime: 1000,
+		Levels: []system.Level{{Checkpoint: 1, Restart: 1, SeverityProb: 1}},
+	}
+	if err := PlanTimelineSVG(&bytes.Buffer{}, sys, pattern.Plan{}, "x"); err == nil {
+		t.Error("invalid plan accepted")
+	}
+	// Periods too long to draw are rejected, not garbled.
+	sys2 := &system.System{
+		Name: "tl2", MTBF: 100, BaselineTime: 1000,
+		Levels: []system.Level{
+			{Checkpoint: 1, Restart: 1, SeverityProb: 0.5},
+			{Checkpoint: 2, Restart: 2, SeverityProb: 0.5},
+		},
+	}
+	long := pattern.Plan{Tau0: 1, Counts: []int{99}, Levels: []int{1, 2}}
+	if err := PlanTimelineSVG(&bytes.Buffer{}, sys2, long, "x"); err == nil {
+		t.Error("over-long period accepted")
+	}
+}
+
+func TestFig1SVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig1SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "three-level") {
+		t.Error("figure 1 caption missing")
+	}
+	// Paper's pattern: 6 computation intervals, 4 δ1, 1 δ2, 1 δ3.
+	if got := strings.Count(out, ">τ<"); got != 6 {
+		t.Errorf("τ labels = %d, want 6", got)
+	}
+	if got := strings.Count(out, ">δ3<"); got != 1 {
+		t.Errorf("δ3 labels = %d, want 1", got)
+	}
+}

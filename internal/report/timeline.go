@@ -1,0 +1,124 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/pattern"
+	"repro/internal/svg"
+	"repro/internal/system"
+)
+
+// PlanTimelineSVG renders one full top-level period of a checkpointing
+// plan as a labeled timeline — the paper's Figure 1 illustration, for an
+// arbitrary plan. Computation intervals are drawn as wide white boxes
+// labeled τ, checkpoints as colored boxes labeled δ_level, with box
+// widths proportional to duration (checkpoint widths are floored at a
+// readable minimum).
+func PlanTimelineSVG(w io.Writer, sys *system.System, plan pattern.Plan, title string) error {
+	if err := plan.Validate(sys); err != nil {
+		return err
+	}
+	n := plan.PeriodIntervals()
+	if n > 64 {
+		return fmt.Errorf("report: period of %d intervals too long to draw", n)
+	}
+
+	type seg struct {
+		width float64
+		label string
+		level int // 0 = computation
+	}
+	var segs []seg
+	for k := 0; k < n; k++ {
+		segs = append(segs, seg{width: plan.Tau0, label: "τ", level: 0})
+		lvl := plan.Levels[plan.LevelAfterInterval(k)]
+		segs = append(segs, seg{
+			width: sys.Levels[lvl-1].Checkpoint,
+			label: fmt.Sprintf("δ%d", lvl),
+			level: lvl,
+		})
+	}
+	var total, minCkpt float64
+	for _, s := range segs {
+		total += s.width
+	}
+	minCkpt = total / 80 // readability floor
+
+	const (
+		left   = 20.0
+		top    = 52.0
+		height = 44.0
+	)
+	// Recompute drawn widths with the floor applied.
+	drawn := 0.0
+	for _, s := range segs {
+		w := s.width
+		if s.level > 0 && w < minCkpt {
+			w = minCkpt
+		}
+		drawn += w
+	}
+	scale := 920.0 / drawn
+	c := svg.NewCanvas(left*2+drawn*scale, top+height+46)
+	c.Text(left, 22, title, "start", 13)
+	c.Text(left, 38, fmt.Sprintf("system %s — plan %s", sys.Name, plan.String()), "start", 10)
+
+	x := left
+	for _, s := range segs {
+		wd := s.width
+		if s.level > 0 && wd < minCkpt {
+			wd = minCkpt
+		}
+		px := wd * scale
+		fill := "white"
+		if s.level > 0 {
+			fill = svg.Color(s.level - 1)
+		}
+		c.Rect(x, top, px, height, fill)
+		c.Line(x, top, x, top+height, "black", 1)
+		c.Line(x, top, x+px, top, "black", 1)
+		c.Line(x, top+height, x+px, top+height, "black", 1)
+		if px > 12 {
+			c.Text(x+px/2, top+height/2+4, s.label, "middle", 11)
+		}
+		x += px
+	}
+	c.Line(x, top, x, top+height, "black", 1)
+	// Legend.
+	lx := left
+	ly := top + height + 30
+	c.Rect(lx, ly-9, 10, 10, "white")
+	c.Line(lx, ly-9, lx+10, ly-9, "black", 1)
+	c.Line(lx, ly+1, lx+10, ly+1, "black", 1)
+	c.Line(lx, ly-9, lx, ly+1, "black", 1)
+	c.Line(lx+10, ly-9, lx+10, ly+1, "black", 1)
+	c.Text(lx+14, ly, "computation (τ0)", "start", 10)
+	lx += 140
+	for _, lvl := range plan.Levels {
+		c.Rect(lx, ly-9, 10, 10, svg.Color(lvl-1))
+		c.Text(lx+14, ly, fmt.Sprintf("level-%d checkpoint", lvl), "start", 10)
+		lx += 140
+	}
+	return c.Render(w)
+}
+
+// Fig1SVG reproduces the paper's Figure 1 exactly: a three-level
+// protocol whose pattern takes two level-1 checkpoints before each
+// level-2 checkpoint and one level-2 checkpoint before each level-3
+// checkpoint.
+func Fig1SVG(w io.Writer) error {
+	sys := &system.System{
+		Name:         "figure-1",
+		MTBF:         1000,
+		BaselineTime: 1000,
+		Levels: []system.Level{
+			{Checkpoint: 1, Restart: 1, SeverityProb: 0.6},
+			{Checkpoint: 2, Restart: 2, SeverityProb: 0.3},
+			{Checkpoint: 4, Restart: 4, SeverityProb: 0.1},
+		},
+	}
+	plan := pattern.Plan{Tau0: 8, Counts: []int{2, 1}, Levels: []int{1, 2, 3}}
+	return PlanTimelineSVG(w, sys, plan,
+		"Figure 1 — checkpoint interval pattern for a three-level protocol")
+}

@@ -1,0 +1,57 @@
+// Package rng provides reproducible random-number streams for simulation
+// campaigns. Every trial of every experiment draws from an independent
+// stream derived deterministically from a campaign seed, a scenario label
+// and a trial index, so campaigns are reproducible regardless of how the
+// trial set is partitioned across worker goroutines.
+package rng
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+)
+
+// Seed identifies one deterministic random stream.
+type Seed struct {
+	hi, lo uint64
+}
+
+// Campaign derives the root seed of a named experiment campaign. The same
+// (base, name) pair always yields the same seed.
+func Campaign(base uint64, name string) Seed {
+	h := fnv.New64a()
+	// hash/fnv never returns a write error.
+	_, _ = h.Write([]byte(name))
+	return Seed{hi: base, lo: h.Sum64()}
+}
+
+// Scenario derives a sub-seed for one scenario (e.g. one test system or
+// one MTBF/cost grid point) within a campaign.
+func (s Seed) Scenario(label string) Seed {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	return Seed{hi: s.hi ^ mix(h.Sum64()), lo: mix(s.lo + 0x9e3779b97f4a7c15)}
+}
+
+// Trial derives the seed of trial i within a scenario.
+func (s Seed) Trial(i int) Seed {
+	return Seed{hi: mix(s.hi + uint64(i)*0x9e3779b97f4a7c15), lo: mix(s.lo ^ uint64(i) + 0xbf58476d1ce4e5b9)}
+}
+
+// Rand materializes the stream as a *rand.Rand backed by PCG.
+func (s Seed) Rand() *rand.Rand {
+	return rand.New(rand.NewPCG(s.hi, s.lo))
+}
+
+// Words exposes the raw 128-bit state, e.g. for trace headers.
+func (s Seed) Words() (hi, lo uint64) { return s.hi, s.lo }
+
+// FromWords rebuilds a Seed from its raw state.
+func FromWords(hi, lo uint64) Seed { return Seed{hi: hi, lo: lo} }
+
+// mix is the splitmix64 finalizer; it decorrelates nearby seeds.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,94 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := Campaign(42, "fig2").Scenario("D4").Trial(17).Rand()
+	b := Campaign(42, "fig2").Scenario("D4").Trial(17).Rand()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctCampaignNames(t *testing.T) {
+	a := Campaign(42, "fig2")
+	b := Campaign(42, "fig4")
+	if a == b {
+		t.Fatal("different campaign names produced identical seeds")
+	}
+}
+
+func TestDistinctBases(t *testing.T) {
+	if Campaign(1, "x") == Campaign(2, "x") {
+		t.Fatal("different bases produced identical seeds")
+	}
+}
+
+func TestDistinctScenarios(t *testing.T) {
+	c := Campaign(7, "fig4")
+	seen := map[Seed]string{}
+	for _, label := range []string{"M", "B", "D1", "D2", "D3", "mtbf=3/pfs=10", "mtbf=3/pfs=20"} {
+		s := c.Scenario(label)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("scenario %q collides with %q", label, prev)
+		}
+		seen[s] = label
+	}
+}
+
+func TestDistinctTrials(t *testing.T) {
+	s := Campaign(7, "fig4").Scenario("B")
+	seen := map[Seed]int{}
+	for i := 0; i < 1000; i++ {
+		ts := s.Trial(i)
+		if prev, dup := seen[ts]; dup {
+			t.Fatalf("trial %d collides with trial %d", i, prev)
+		}
+		seen[ts] = i
+	}
+}
+
+func TestTrialStreamsUncorrelated(t *testing.T) {
+	// Adjacent trial streams should not share leading outputs.
+	s := Campaign(99, "corr")
+	a := s.Trial(0).Rand()
+	b := s.Trial(1).Rand()
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical leading draws between adjacent trials", same)
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		s := FromWords(hi, lo)
+		h, l := s.Words()
+		return h == hi && l == lo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandUniformish(t *testing.T) {
+	r := Campaign(5, "uniform").Scenario("s").Trial(0).Rand()
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("uniform mean = %v", mean)
+	}
+}

@@ -1,0 +1,424 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/dist"
+	"repro/internal/eventq"
+	"repro/internal/pattern"
+)
+
+// Event-queue kinds used by the engine.
+const (
+	evqPhaseEnd = iota
+	evqFailure
+	evqFlushEnd
+)
+
+// store holds one committed checkpoint.
+type store struct {
+	valid    bool
+	progress float64 // useful work at commit time
+	pos      int     // pattern interval index to resume at
+}
+
+// engine is the per-trial simulation state.
+type engine struct {
+	cfg        *Config
+	rng        *rand.Rand
+	laws       []dist.Sampler // per severity, index 0 = severity 1
+	plan       pattern.Plan   // current plan; Controller may swap it
+	controller PlanController
+	err        error // fatal mid-run error (invalid controller plan)
+
+	queue       eventq.Queue
+	phaseHandle eventq.Handle
+
+	now        float64
+	maxWall    float64
+	done       float64 // current useful progress (state the next checkpoint would commit)
+	pos        int     // next pattern interval index
+	stores     []store // one per used level
+	phase      Phase
+	phaseStart float64
+	phaseLevel int // 1-based system level for checkpoint/restart phases
+	restartIdx int // used-level index being read during PhaseRestart
+
+	asyncCapture bool          // current checkpoint phase is an async capture
+	flushPending bool          // a background top-level flush is in flight
+	flushHandle  eventq.Handle // cancellation handle for the flush
+	flushStore   store         // state the in-flight flush will commit
+
+	res TrialResult
+}
+
+// RunTrial simulates one application execution and returns its result.
+// The caller provides the random stream (see internal/rng for
+// reproducible per-trial seeding).
+func RunTrial(cfg Config, r *rand.Rand) (TrialResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return TrialResult{}, err
+	}
+	if r == nil {
+		return TrialResult{}, fmt.Errorf("sim: nil random source")
+	}
+	e := &engine{cfg: &cfg, rng: r}
+	if err := e.init(); err != nil {
+		return TrialResult{}, err
+	}
+	e.run()
+	return e.res, e.err
+}
+
+func (e *engine) init() error {
+	sys := e.cfg.System
+	L := sys.NumLevels()
+	e.laws = make([]dist.Sampler, L)
+	for sev := 1; sev <= L; sev++ {
+		if len(e.cfg.FailureLaws) >= sev && e.cfg.FailureLaws[sev-1] != nil {
+			e.laws[sev-1] = e.cfg.FailureLaws[sev-1]
+			continue
+		}
+		rate := sys.LevelRate(sev)
+		if rate <= 0 {
+			e.laws[sev-1] = nil // severity never fires
+			continue
+		}
+		law, err := dist.NewExponential(rate)
+		if err != nil {
+			return err
+		}
+		e.laws[sev-1] = law
+	}
+	factor := e.cfg.MaxWallFactor
+	if factor == 0 {
+		factor = DefaultMaxWallFactor
+	}
+	e.maxWall = factor * sys.BaselineTime
+	e.plan = e.cfg.Plan
+	e.controller = e.cfg.Controller
+	e.stores = make([]store, e.plan.NumUsed())
+	e.res.Failures = make([]int, L)
+
+	// Arm one arrival per severity.
+	for sev := 1; sev <= L; sev++ {
+		e.armFailure(sev)
+	}
+	e.startCompute()
+	return nil
+}
+
+// armFailure schedules the next arrival of a severity class.
+func (e *engine) armFailure(sev int) {
+	law := e.laws[sev-1]
+	if law == nil {
+		return
+	}
+	e.queue.Schedule(e.now+law.Sample(e.rng), evqFailure, sev)
+}
+
+func (e *engine) observe(kind EventKind, level int) {
+	if e.cfg.Observer == nil {
+		return
+	}
+	e.cfg.Observer.Observe(Event{
+		Time: e.now, Kind: kind, Phase: e.phase, Level: level, Progress: e.done,
+	})
+}
+
+// startPhase begins a phase of the given duration.
+func (e *engine) startPhase(p Phase, level int, duration float64) {
+	e.phase = p
+	e.phaseLevel = level
+	e.phaseStart = e.now
+	e.phaseHandle = e.queue.Schedule(e.now+duration, evqPhaseEnd, nil)
+	e.observe(EvPhaseStart, level)
+}
+
+func (e *engine) startCompute() {
+	remaining := e.cfg.System.BaselineTime - e.done
+	interval := e.plan.Tau0
+	if interval > remaining {
+		interval = remaining
+	}
+	e.startPhase(PhaseCompute, 0, interval)
+}
+
+// run drives the event loop until completion or the wall-time cap.
+func (e *engine) run() {
+	for {
+		ev, err := e.queue.Pop()
+		if err != nil {
+			// No pending events can only mean all severities are
+			// failure-free and a phase is always pending; treat
+			// defensively as completion of whatever progress exists.
+			break
+		}
+		e.now = ev.Time
+		if e.now >= e.maxWall {
+			e.now = e.maxWall
+			e.chargePartialPhase()
+			e.finish(false)
+			e.observe(EvCapped, 0)
+			return
+		}
+		switch ev.Kind {
+		case evqPhaseEnd:
+			if e.phaseEnd() {
+				e.finish(true)
+				e.observe(EvComplete, 0)
+				return
+			}
+		case evqFlushEnd:
+			e.flushPending = false
+			e.stores[e.plan.NumUsed()-1] = e.flushStore
+		case evqFailure:
+			sev := ev.Payload.(int)
+			e.res.Failures[sev-1]++
+			e.observe(EvFailure, sev)
+			if e.controller != nil {
+				e.controller.OnFailure(e.now, sev)
+			}
+			e.armFailure(sev)
+			e.failure(sev)
+		}
+	}
+	e.finish(e.done >= e.cfg.System.BaselineTime)
+}
+
+// phaseEnd handles successful completion of the current phase; it
+// returns true when the application has finished.
+func (e *engine) phaseEnd() bool {
+	d := e.now - e.phaseStart
+	plan := &e.plan
+	switch e.phase {
+	case PhaseCompute:
+		e.res.Breakdown.UsefulCompute += d // reclassified to Lost on rollback
+		e.done += d
+		e.observe(EvPhaseEnd, 0)
+		if e.done >= e.cfg.System.BaselineTime-1e-12 {
+			e.done = e.cfg.System.BaselineTime
+			return true
+		}
+		usedIdx := plan.LevelAfterInterval(e.pos)
+		lvl := plan.Levels[usedIdx]
+		duration := e.cfg.System.Levels[lvl-1].Checkpoint
+		e.asyncCapture = false
+		if e.cfg.AsyncTopFlush && usedIdx == plan.NumUsed()-1 && plan.NumUsed() >= 2 {
+			// Async: block only for the capture to the next-lower
+			// level; the top-level write drains in the background.
+			capture := plan.Levels[usedIdx-1]
+			duration = e.cfg.System.Levels[capture-1].Checkpoint
+			e.asyncCapture = true
+		}
+		e.startPhase(PhaseCheckpoint, lvl, duration)
+	case PhaseCheckpoint:
+		e.res.Breakdown.CheckpointOK += d
+		e.observe(EvPhaseEnd, e.phaseLevel)
+		next := (e.pos + 1) % plan.PeriodIntervals()
+		commitLevel := e.phaseLevel
+		if e.asyncCapture {
+			// Commit only up to the capture level now; the top level
+			// commits when the background flush completes.
+			commitLevel = plan.Levels[plan.NumUsed()-2]
+			if e.flushPending {
+				e.queue.Cancel(e.flushHandle) // newer data supersedes
+			}
+			e.flushStore = store{valid: true, progress: e.done, pos: next}
+			e.flushHandle = e.queue.Schedule(
+				e.now+e.cfg.System.Levels[e.phaseLevel-1].Checkpoint, evqFlushEnd, nil)
+			e.flushPending = true
+			e.asyncCapture = false
+		}
+		// Commit to every used level at or below the committed level.
+		for i, lvl := range plan.Levels {
+			if lvl <= commitLevel {
+				e.stores[i] = store{valid: true, progress: e.done, pos: next}
+			}
+		}
+		e.pos = next
+		if e.controller != nil {
+			if newPlan, ok := e.controller.Replan(e.now, e.done); ok {
+				if err := e.switchPlan(newPlan); err != nil {
+					e.err = err
+					e.finish(false)
+					return true
+				}
+			}
+		}
+		e.startCompute()
+	case PhaseRestart:
+		e.res.Breakdown.RestartOK += d
+		e.observe(EvPhaseEnd, e.phaseLevel)
+		st := e.stores[e.restartIdx]
+		e.rollbackTo(st)
+		e.startCompute()
+	}
+	return false
+}
+
+// chargePartialPhase books the elapsed portion of an interrupted phase
+// into the matching failure bucket.
+func (e *engine) chargePartialPhase() {
+	d := e.now - e.phaseStart
+	switch e.phase {
+	case PhaseCompute:
+		// Partial computation counts as compute time; the progress it
+		// represented is lost implicitly because done is not advanced.
+		e.res.Breakdown.UsefulCompute += d
+	case PhaseCheckpoint:
+		e.res.Breakdown.CheckpointFail += d
+	case PhaseRestart:
+		e.res.Breakdown.RestartFail += d
+	}
+}
+
+// rollbackTo restores application state from a committed checkpoint.
+func (e *engine) rollbackTo(st store) {
+	// Progress between the checkpoint and now is lost: reclassify.
+	lost := e.done - st.progress
+	if lost > 0 {
+		e.res.Breakdown.UsefulCompute -= lost
+		e.res.Breakdown.LostCompute += lost
+	}
+	e.done = st.progress
+	e.pos = st.pos
+}
+
+// failure handles a severity-s arrival.
+func (e *engine) failure(sev int) {
+	e.queue.Cancel(e.phaseHandle)
+	e.chargePartialPhase()
+	if e.flushPending {
+		// The in-flight background flush loses its source data.
+		e.queue.Cancel(e.flushHandle)
+		e.flushPending = false
+	}
+
+	// The failure destroys checkpoint data at levels below its
+	// severity.
+	for i, lvl := range e.plan.Levels {
+		if lvl < sev {
+			e.stores[i].valid = false
+		}
+	}
+
+	need := sev
+	if e.phase == PhaseRestart {
+		need = e.nextRestartNeed(sev)
+	}
+	e.beginRecovery(need)
+}
+
+// nextRestartNeed applies the restart policy when a failure of severity
+// sev interrupts the in-progress restart.
+func (e *engine) nextRestartNeed(sev int) int {
+	cur := e.phaseLevel
+	switch e.cfg.Policy {
+	case EscalatePolicy:
+		// Escalate to the next used level above the current one, and
+		// at least to the failing severity's level.
+		next := cur
+		for _, lvl := range e.plan.Levels {
+			if lvl > cur {
+				next = lvl
+				break
+			}
+		}
+		if sev > next {
+			next = sev
+		}
+		return next
+	default: // RetryPolicy
+		if sev > cur {
+			return sev
+		}
+		return cur
+	}
+}
+
+// beginRecovery starts a restart from the lowest used level >= need that
+// holds a valid checkpoint, or restarts the application from scratch.
+func (e *engine) beginRecovery(need int) {
+	for i, lvl := range e.plan.Levels {
+		if lvl >= need && e.stores[i].valid {
+			e.restartIdx = i
+			e.startPhase(PhaseRestart, lvl, e.cfg.System.Levels[lvl-1].Restart)
+			return
+		}
+	}
+	// No usable checkpoint anywhere: restart from scratch. The paper's
+	// short-application study treats this as relaunching the job with
+	// no state to read, so no restart read cost is charged.
+	e.res.ScratchRestarts++
+	e.rollbackTo(store{valid: true, progress: 0, pos: 0})
+	e.startCompute()
+}
+
+// finish freezes the trial result.
+func (e *engine) finish(completed bool) {
+	e.res.Completed = completed
+	e.res.WallTime = e.now
+	e.res.Progress = e.done
+	if completed {
+		e.res.Progress = e.cfg.System.BaselineTime
+	}
+	if e.res.WallTime > 0 {
+		e.res.Efficiency = e.res.Progress / e.res.WallTime
+	} else {
+		// Degenerate zero-length application.
+		e.res.Efficiency = 1
+	}
+	// Useful compute must equal final progress; anything beyond it in
+	// the bucket is work that was computed but never rolled back nor
+	// counted (a partial interval at the cap): classify as lost.
+	if excess := e.res.Breakdown.UsefulCompute - e.res.Progress; excess > 1e-9 {
+		e.res.Breakdown.UsefulCompute -= excess
+		e.res.Breakdown.LostCompute += excess
+	}
+	if math.IsNaN(e.res.Efficiency) {
+		e.res.Efficiency = 0
+	}
+}
+
+// switchPlan installs a controller-provided plan. The pattern restarts
+// at position 0; committed checkpoints keep their progress but resume at
+// the new pattern's start.
+func (e *engine) switchPlan(p pattern.Plan) error {
+	if err := p.Validate(e.cfg.System); err != nil {
+		return fmt.Errorf("sim: controller produced invalid plan: %w", err)
+	}
+	if e.flushPending {
+		// The in-flight flush belongs to the old plan's level layout.
+		e.queue.Cancel(e.flushHandle)
+		e.flushPending = false
+	}
+	// Remap stores: keep the best committed progress per new used
+	// level (a new level set may drop or add levels; a dropped level's
+	// checkpoint data still exists, but the protocol will no longer
+	// refresh it — conservatively carry progress for levels that appear
+	// in both plans, and for new levels adopt the progress of the
+	// nearest old level at or above them, which the SCR commit rule
+	// guarantees exists there).
+	old := e.stores
+	oldLevels := e.plan.Levels
+	e.plan = p
+	e.pos = 0
+	e.stores = make([]store, p.NumUsed())
+	for i, lvl := range p.Levels {
+		best := store{}
+		for j, ol := range oldLevels {
+			if ol >= lvl && old[j].valid {
+				if !best.valid || old[j].progress > best.progress {
+					best = old[j]
+				}
+			}
+		}
+		if best.valid {
+			e.stores[i] = store{valid: true, progress: best.progress, pos: 0}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Campaign runs many independent trials of one scenario.
+type Campaign struct {
+	// Config is the per-trial scenario.
+	Config Config
+	// Trials is the number of independent executions (the paper uses
+	// 200, or 400 for Figure 5).
+	Trials int
+	// Seed is the scenario-level seed; trial i draws from
+	// Seed.Trial(i), so results are independent of Workers.
+	Seed rng.Seed
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	// Efficiency summarizes the per-trial efficiency (the bars and
+	// whiskers of Figures 2, 4 and 5).
+	Efficiency stats.Summary
+	// WallTime summarizes the per-trial wall time in minutes.
+	WallTime stats.Summary
+	// Efficiencies holds every trial's efficiency, in trial order
+	// (needed for the Welch significance tests of Section IV-F).
+	Efficiencies []float64
+	// MeanBreakdown is the across-trials mean of each Figure 3
+	// category, in minutes.
+	MeanBreakdown Breakdown
+	// BreakdownShare is MeanBreakdown normalized by the mean wall time
+	// (the Figure 3 percentages, as fractions summing to 1).
+	BreakdownShare Breakdown
+	// Completed counts trials that finished before the wall-time cap.
+	Completed int
+	// Trials echoes the campaign size.
+	Trials int
+	// MeanFailures is the mean per-trial failure count by severity.
+	MeanFailures []float64
+	// MeanScratchRestarts is the mean per-trial count of recoveries
+	// that found no usable checkpoint.
+	MeanScratchRestarts float64
+}
+
+// Run executes the campaign. Trials are distributed over worker
+// goroutines; per-trial seeding makes the aggregate deterministic for a
+// given Campaign.Seed regardless of scheduling.
+func (c Campaign) Run() (CampaignResult, error) {
+	if c.Trials <= 0 {
+		return CampaignResult{}, errors.New("sim: campaign needs at least one trial")
+	}
+	if err := c.Config.Validate(); err != nil {
+		return CampaignResult{}, err
+	}
+	if c.Config.Observer != nil {
+		return CampaignResult{}, errors.New("sim: observers are per-trial; campaigns do not support them")
+	}
+	if c.Config.Controller != nil {
+		return CampaignResult{}, errors.New("sim: controllers are stateful per trial; set ControllerFactory instead")
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > c.Trials {
+		workers = c.Trials
+	}
+
+	results := make([]TrialResult, c.Trials)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < c.Trials; i += workers {
+				cfg := c.Config
+				if cfg.ControllerFactory != nil {
+					cfg.Controller = cfg.ControllerFactory()
+				}
+				r, err := RunTrial(cfg, c.Seed.Trial(i).Rand())
+				if err != nil {
+					errs[w] = fmt.Errorf("trial %d: %w", i, err)
+					return
+				}
+				results[i] = r
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return CampaignResult{}, err
+		}
+	}
+
+	out := CampaignResult{Trials: c.Trials}
+	var eff, wall stats.Sample
+	L := c.Config.System.NumLevels()
+	out.MeanFailures = make([]float64, L)
+	out.Efficiencies = make([]float64, c.Trials)
+	for i := range results {
+		r := &results[i]
+		eff.Add(r.Efficiency)
+		wall.Add(r.WallTime)
+		out.Efficiencies[i] = r.Efficiency
+		out.MeanBreakdown.Add(r.Breakdown)
+		if r.Completed {
+			out.Completed++
+		}
+		for s := 0; s < L; s++ {
+			out.MeanFailures[s] += float64(r.Failures[s])
+		}
+		out.MeanScratchRestarts += float64(r.ScratchRestarts)
+	}
+	n := float64(c.Trials)
+	out.MeanBreakdown.Scale(1 / n)
+	for s := range out.MeanFailures {
+		out.MeanFailures[s] /= n
+	}
+	out.MeanScratchRestarts /= n
+	out.Efficiency = stats.Summarize(&eff)
+	out.WallTime = stats.Summarize(&wall)
+	if total := out.MeanBreakdown.Total(); total > 0 {
+		out.BreakdownShare = out.MeanBreakdown
+		out.BreakdownShare.Scale(1 / total)
+	}
+	return out, nil
+}

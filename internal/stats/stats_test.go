@@ -1,0 +1,334 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	return d <= tol || d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almost(s.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	// Unbiased variance of this classic dataset = 32/7.
+	if !almost(s.Var(), 32.0/7, 1e-12) {
+		t.Errorf("var = %v", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Std() != 0 || s.StdErr() != 0 {
+		t.Error("empty sample not all-zero")
+	}
+	s.Add(42)
+	if s.Mean() != 42 || s.Var() != 0 {
+		t.Errorf("singleton: mean=%v var=%v", s.Mean(), s.Var())
+	}
+	if _, err := s.CI(0.95); err == nil {
+		t.Error("CI on singleton accepted")
+	}
+}
+
+func TestMergeEquivalence(t *testing.T) {
+	f := func(seed uint64, nA, nB uint8) bool {
+		src := rand.New(rand.NewPCG(seed, 0))
+		var whole, a, b Sample
+		for i := 0; i < int(nA); i++ {
+			x := src.NormFloat64()*3 + 10
+			whole.Add(x)
+			a.Add(x)
+		}
+		for i := 0; i < int(nB); i++ {
+			x := src.NormFloat64()*5 - 2
+			whole.Add(x)
+			b.Add(x)
+		}
+		a.Merge(&b)
+		if a.N() != whole.N() {
+			return false
+		}
+		if a.N() == 0 {
+			return true
+		}
+		return almost(a.Mean(), whole.Mean(), 1e-9) &&
+			almost(a.Var(), whole.Var(), 1e-9) &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	var a, b Sample
+	b.AddAll([]float64{1, 2, 3})
+	a.Merge(&b)
+	if a.N() != 3 || !almost(a.Mean(), 2, 1e-12) {
+		t.Errorf("merge into empty: %+v", Summarize(&a))
+	}
+	var empty Sample
+	a.Merge(&empty)
+	if a.N() != 3 {
+		t.Error("merging empty changed sample")
+	}
+}
+
+func TestWelfordStability(t *testing.T) {
+	// Large offset: naive sum-of-squares would lose precision.
+	var s Sample
+	const base = 1e9
+	for i := 0; i < 1000; i++ {
+		s.Add(base + float64(i%2)) // values base, base+1 alternating
+	}
+	if !almost(s.Var(), 0.25025, 1e-6) {
+		t.Errorf("var = %v, want ~0.2503", s.Var())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.125, 1.5},
+	} {
+		got, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got, tc.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty quantile accepted")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("out-of-range q accepted")
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Quantile sorted its input in place")
+	}
+}
+
+func TestStudentTQuantileKnownValues(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct {
+		p, df, want float64
+	}{
+		{0.975, 1, 12.706},
+		{0.975, 10, 2.228},
+		{0.975, 199, 1.972},
+		{0.95, 30, 1.697},
+		{0.995, 5, 4.032},
+	}
+	for _, c := range cases {
+		got, err := StudentTQuantile(c.p, c.df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got, c.want, 5e-3) {
+			t.Errorf("t(%v, df=%v) = %v, want %v", c.p, c.df, got, c.want)
+		}
+	}
+}
+
+func TestStudentTQuantileSymmetry(t *testing.T) {
+	q1, _ := StudentTQuantile(0.9, 7)
+	q2, _ := StudentTQuantile(0.1, 7)
+	if !almost(q1, -q2, 1e-9) {
+		t.Errorf("not symmetric: %v vs %v", q1, q2)
+	}
+	q3, _ := StudentTQuantile(0.5, 7)
+	if math.Abs(q3) > 1e-12 {
+		t.Errorf("median = %v", q3)
+	}
+	if _, err := StudentTQuantile(0, 5); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := StudentTQuantile(0.5, -1); err == nil {
+		t.Error("df<0 accepted")
+	}
+}
+
+func TestStudentTSFAgainstNormalLimit(t *testing.T) {
+	// With huge df the t distribution approaches the standard normal:
+	// P(T > 1.96) ~ 0.025.
+	if got := studentTSF(1.959964, 1e7); !almost(got, 0.025, 1e-3) {
+		t.Errorf("high-df SF(1.96) = %v", got)
+	}
+	if got := studentTSF(0, 5); !almost(got, 0.5, 1e-12) {
+		t.Errorf("SF(0) = %v", got)
+	}
+	if got := studentTSF(-2, 5); !(got > 0.5) {
+		t.Errorf("SF(-2) = %v, want > 0.5", got)
+	}
+	if got := studentTSF(math.Inf(1), 5); got != 0 {
+		t.Errorf("SF(inf) = %v", got)
+	}
+}
+
+func TestCIWidth(t *testing.T) {
+	var s Sample
+	src := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 200; i++ {
+		s.Add(src.NormFloat64())
+	}
+	ci95, err := s.CI(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci99, err := s.CI(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ci99 > ci95 && ci95 > 0) {
+		t.Errorf("ci95=%v ci99=%v", ci95, ci99)
+	}
+	// Rough sanity: 95% CI of 200 std-normal draws ~ 1.97/sqrt(200).
+	if !almost(ci95, 1.97/math.Sqrt(200)*s.Std(), 0.05) {
+		t.Errorf("ci95 = %v", ci95)
+	}
+}
+
+func TestWelchTDistinguishes(t *testing.T) {
+	src := rand.New(rand.NewPCG(2, 2))
+	var a, b, c []float64
+	for i := 0; i < 200; i++ {
+		a = append(a, 0.60+src.NormFloat64()*0.05)
+		b = append(b, 0.40+src.NormFloat64()*0.05)
+		c = append(c, 0.60+src.NormFloat64()*0.05)
+	}
+	r, err := WelchT(Of(a), Of(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P > 1e-6 || r.T <= 0 {
+		t.Errorf("clearly different samples: p=%v t=%v", r.P, r.T)
+	}
+	r2, err := WelchT(Of(a), Of(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.P < 0.01 {
+		t.Errorf("same-mean samples flagged: p=%v", r2.P)
+	}
+	sig, err := SignificantlyGreater(Of(a), Of(b), 0.95)
+	if err != nil || !sig {
+		t.Errorf("a should beat b: %v %v", sig, err)
+	}
+	sig, err = SignificantlyGreater(Of(b), Of(a), 0.95)
+	if err != nil || sig {
+		t.Errorf("b should not beat a: %v %v", sig, err)
+	}
+}
+
+func TestWelchTDegenerate(t *testing.T) {
+	constA := Of([]float64{5, 5, 5})
+	constB := Of([]float64{3, 3, 3})
+	r, err := WelchT(constA, constB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P != 0 || !math.IsInf(r.T, 1) {
+		t.Errorf("different constants: %+v", r)
+	}
+	r, err = WelchT(constA, constA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P != 1 || r.T != 0 {
+		t.Errorf("identical constants: %+v", r)
+	}
+	if _, err := WelchT(Of([]float64{1}), constA); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestOfAndHelpers(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !almost(Mean(xs), 2.5, 1e-12) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if !almost(Std(xs), math.Sqrt(5.0/3), 1e-12) {
+		t.Errorf("Std = %v", Std(xs))
+	}
+	sum := Of(xs)
+	if sum.N != 4 || sum.Min != 1 || sum.Max != 4 {
+		t.Errorf("Of = %+v", sum)
+	}
+}
+
+func TestRegIncBetaEdges(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Error("incomplete beta edges wrong")
+	}
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.42, 0.9} {
+		if got := regIncBeta(1, 1, x); !almost(got, x, 1e-12) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// Symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+	if got, want := regIncBeta(2.5, 4, 0.3), 1-regIncBeta(4, 2.5, 0.7); !almost(got, want, 1e-12) {
+		t.Errorf("beta symmetry: %v vs %v", got, want)
+	}
+}
+
+func TestQuantileMonotoneInQ(t *testing.T) {
+	f := func(seed uint64, qa, qb uint8) bool {
+		src := rand.New(rand.NewPCG(seed, 3))
+		xs := make([]float64, 20)
+		for i := range xs {
+			xs[i] = src.NormFloat64()
+		}
+		q1 := float64(qa) / 255
+		q2 := float64(qb) / 255
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, err1 := Quantile(xs, q1)
+		v2, err2 := Quantile(xs, q2)
+		return err1 == nil && err2 == nil && v1 <= v2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCIShrinksWithSamples(t *testing.T) {
+	src := rand.New(rand.NewPCG(4, 4))
+	var small, large Sample
+	for i := 0; i < 2000; i++ {
+		x := src.NormFloat64()
+		if i < 50 {
+			small.Add(x)
+		}
+		large.Add(x)
+	}
+	ciS, err := small.CI(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ciL, err := large.CI(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ciL < ciS) {
+		t.Fatalf("CI did not shrink: n=50 %v vs n=2000 %v", ciS, ciL)
+	}
+}

@@ -1,0 +1,279 @@
+package svg
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Series is one technique's values across the categorical x axis.
+type Series struct {
+	Name string
+	// Values aligned with the chart's Categories.
+	Values []float64
+	// Whiskers holds optional ± error-bar half-heights (nil for none).
+	Whiskers []float64
+	// Markers holds optional diamond-marker values (NaN entries skip a
+	// marker; nil for none). Used for model predictions.
+	Markers []float64
+}
+
+// BarChart is a grouped bar chart with whiskers and prediction diamonds —
+// the shape of the paper's Figures 2, 4 and 5.
+type BarChart struct {
+	Title      string
+	YLabel     string
+	Categories []string
+	Series     []Series
+	// YMax fixes the y scale (0 = auto; efficiency plots use 1).
+	YMax float64
+}
+
+const (
+	marginLeft   = 62.0
+	marginRight  = 16.0
+	marginTop    = 34.0
+	marginBottom = 64.0
+	legendRow    = 18.0
+)
+
+func (b *BarChart) validate() error {
+	if len(b.Categories) == 0 || len(b.Series) == 0 {
+		return errors.New("svg: bar chart needs categories and series")
+	}
+	for _, s := range b.Series {
+		if len(s.Values) != len(b.Categories) {
+			return fmt.Errorf("svg: series %q has %d values for %d categories",
+				s.Name, len(s.Values), len(b.Categories))
+		}
+		if s.Whiskers != nil && len(s.Whiskers) != len(b.Categories) {
+			return fmt.Errorf("svg: series %q whisker length mismatch", s.Name)
+		}
+		if s.Markers != nil && len(s.Markers) != len(b.Categories) {
+			return fmt.Errorf("svg: series %q marker length mismatch", s.Name)
+		}
+	}
+	return nil
+}
+
+func (b *BarChart) yMax() float64 {
+	if b.YMax > 0 {
+		return b.YMax
+	}
+	m := 0.0
+	for _, s := range b.Series {
+		for i, v := range s.Values {
+			top := v
+			if s.Whiskers != nil {
+				top += s.Whiskers[i]
+			}
+			if top > m {
+				m = top
+			}
+			if s.Markers != nil && !math.IsNaN(s.Markers[i]) && s.Markers[i] > m {
+				m = s.Markers[i]
+			}
+		}
+	}
+	if m <= 0 {
+		return 1
+	}
+	return m * 1.05
+}
+
+// Render writes the chart as a standalone SVG.
+func (b *BarChart) Render(w io.Writer) error {
+	if err := b.validate(); err != nil {
+		return err
+	}
+	nCat := len(b.Categories)
+	nSer := len(b.Series)
+	groupW := math.Max(26*float64(nSer), 60)
+	plotW := groupW * float64(nCat) * 1.25
+	plotH := 300.0
+	c := NewCanvas(marginLeft+plotW+marginRight, marginTop+plotH+marginBottom+legendRow)
+
+	ymax := b.yMax()
+	y := func(v float64) float64 {
+		if v < 0 {
+			v = 0
+		}
+		if v > ymax {
+			v = ymax
+		}
+		return marginTop + plotH*(1-v/ymax)
+	}
+	catX := func(i int) float64 {
+		return marginLeft + plotW*(float64(i)+0.5)/float64(nCat)
+	}
+
+	c.Text(c.W/2, 18, b.Title, "middle", 13)
+	// Y axis with ticks.
+	c.Line(marginLeft, marginTop, marginLeft, marginTop+plotH, "black", 1)
+	for t := 0; t <= 5; t++ {
+		v := ymax * float64(t) / 5
+		yy := y(v)
+		c.Line(marginLeft-4, yy, marginLeft, yy, "black", 1)
+		c.Line(marginLeft, yy, marginLeft+plotW, yy, "#dddddd", 0.5)
+		c.Text(marginLeft-8, yy+4, fmt.Sprintf("%.2f", v), "end", 10)
+	}
+	c.TextRotated(16, marginTop+plotH/2, b.YLabel, "middle", 11, -90)
+	// X axis.
+	c.Line(marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH, "black", 1)
+
+	barW := groupW / float64(nSer) * 0.85
+	for i := range b.Categories {
+		cx := catX(i)
+		c.TextRotated(cx, marginTop+plotH+14, b.Categories[i], "end", 10, -35)
+		for si, s := range b.Series {
+			x := cx - groupW/2 + (float64(si)+0.075)*groupW/float64(nSer)
+			v := s.Values[i]
+			c.Rect(x, y(v), barW, marginTop+plotH-y(v), Color(si))
+			if s.Whiskers != nil && s.Whiskers[i] > 0 {
+				mid := x + barW/2
+				c.Line(mid, y(v-s.Whiskers[i]), mid, y(v+s.Whiskers[i]), "black", 1)
+				c.Line(mid-3, y(v-s.Whiskers[i]), mid+3, y(v-s.Whiskers[i]), "black", 1)
+				c.Line(mid-3, y(v+s.Whiskers[i]), mid+3, y(v+s.Whiskers[i]), "black", 1)
+			}
+			if s.Markers != nil && !math.IsNaN(s.Markers[i]) {
+				c.Diamond(x+barW/2, y(s.Markers[i]), 4, Color(si))
+			}
+		}
+	}
+	b.legend(c)
+	return c.Render(w)
+}
+
+func (b *BarChart) legend(c *Canvas) {
+	x := marginLeft
+	yy := c.H - 10
+	for si, s := range b.Series {
+		c.Rect(x, yy-9, 10, 10, Color(si))
+		c.Text(x+14, yy, s.Name, "start", 10)
+		x += 14 + 7*float64(len(s.Name)) + 18
+	}
+}
+
+// StackedBar is a normalized stacked bar chart — the paper's Figure 3.
+type StackedBar struct {
+	Title      string
+	Categories []string
+	// Components names the stack slices, bottom first.
+	Components []string
+	// Shares[cat][component] are fractions that sum to ~1 per category.
+	Shares [][]float64
+}
+
+// Render writes the stacked chart as a standalone SVG.
+func (s *StackedBar) Render(w io.Writer) error {
+	if len(s.Categories) == 0 || len(s.Components) == 0 {
+		return errors.New("svg: stacked chart needs categories and components")
+	}
+	if len(s.Shares) != len(s.Categories) {
+		return fmt.Errorf("svg: %d share rows for %d categories", len(s.Shares), len(s.Categories))
+	}
+	for i, row := range s.Shares {
+		if len(row) != len(s.Components) {
+			return fmt.Errorf("svg: category %d has %d shares for %d components",
+				i, len(row), len(s.Components))
+		}
+	}
+	plotW := math.Max(44*float64(len(s.Categories)), 300)
+	plotH := 300.0
+	c := NewCanvas(marginLeft+plotW+marginRight, marginTop+plotH+marginBottom+legendRow*2)
+	c.Text(c.W/2, 18, s.Title, "middle", 13)
+	c.Line(marginLeft, marginTop, marginLeft, marginTop+plotH, "black", 1)
+	for t := 0; t <= 5; t++ {
+		v := float64(t) / 5
+		yy := marginTop + plotH*(1-v)
+		c.Line(marginLeft-4, yy, marginLeft, yy, "black", 1)
+		c.Text(marginLeft-8, yy+4, fmt.Sprintf("%.0f%%", v*100), "end", 10)
+	}
+	c.Line(marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH, "black", 1)
+
+	barW := plotW / float64(len(s.Categories)) * 0.62
+	for i, cat := range s.Categories {
+		cx := marginLeft + plotW*(float64(i)+0.5)/float64(len(s.Categories))
+		c.TextRotated(cx, marginTop+plotH+14, cat, "end", 10, -35)
+		acc := 0.0
+		for ci := range s.Components {
+			h := s.Shares[i][ci] * plotH
+			yTop := marginTop + plotH*(1-acc) - h
+			c.Rect(cx-barW/2, yTop, barW, h, Color(ci))
+			acc += s.Shares[i][ci]
+		}
+	}
+	// Legend over two rows.
+	x := marginLeft
+	yy := c.H - 24
+	for ci, name := range s.Components {
+		if ci == (len(s.Components)+1)/2 {
+			x = marginLeft
+			yy = c.H - 8
+		}
+		c.Rect(x, yy-9, 10, 10, Color(ci))
+		c.Text(x+14, yy, name, "start", 10)
+		x += 14 + 7*float64(len(name)) + 18
+	}
+	return c.Render(w)
+}
+
+// Scatter is a categorical scatter plot with a zero line — the paper's
+// Figure 6 (prediction error per scenario, per technique).
+type Scatter struct {
+	Title      string
+	YLabel     string
+	Categories []string
+	Series     []Series // Whiskers/Markers ignored
+}
+
+// Render writes the scatter as a standalone SVG.
+func (s *Scatter) Render(w io.Writer) error {
+	if len(s.Categories) == 0 || len(s.Series) == 0 {
+		return errors.New("svg: scatter needs categories and series")
+	}
+	lo, hi := 0.0, 0.0
+	for _, se := range s.Series {
+		if len(se.Values) != len(s.Categories) {
+			return fmt.Errorf("svg: series %q length mismatch", se.Name)
+		}
+		for _, v := range se.Values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	pad := math.Max((hi-lo)*0.1, 1e-6)
+	lo, hi = lo-pad, hi+pad
+
+	plotW := math.Max(30*float64(len(s.Categories)), 360)
+	plotH := 280.0
+	c := NewCanvas(marginLeft+plotW+marginRight, marginTop+plotH+marginBottom+legendRow)
+	c.Text(c.W/2, 18, s.Title, "middle", 13)
+	y := func(v float64) float64 { return marginTop + plotH*(hi-v)/(hi-lo) }
+	c.Line(marginLeft, marginTop, marginLeft, marginTop+plotH, "black", 1)
+	for t := 0; t <= 6; t++ {
+		v := lo + (hi-lo)*float64(t)/6
+		c.Line(marginLeft-4, y(v), marginLeft, y(v), "black", 1)
+		c.Text(marginLeft-8, y(v)+4, fmt.Sprintf("%+.3f", v), "end", 10)
+	}
+	c.TextRotated(16, marginTop+plotH/2, s.YLabel, "middle", 11, -90)
+	// Zero line (the paper's red target line).
+	c.Line(marginLeft, y(0), marginLeft+plotW, y(0), "#c62828", 1.2)
+	c.Line(marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH, "black", 1)
+	for i, cat := range s.Categories {
+		cx := marginLeft + plotW*(float64(i)+0.5)/float64(len(s.Categories))
+		c.TextRotated(cx, marginTop+plotH+14, cat, "end", 9, -45)
+		for si, se := range s.Series {
+			c.Circle(cx, y(se.Values[i]), 3.2, Color(si))
+		}
+	}
+	x := marginLeft
+	yy := c.H - 10
+	for si, se := range s.Series {
+		c.Circle(x+5, yy-4, 4, Color(si))
+		c.Text(x+14, yy, se.Name, "start", 10)
+		x += 14 + 7*float64(len(se.Name)) + 18
+	}
+	return c.Render(w)
+}

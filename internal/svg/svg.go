@@ -1,0 +1,94 @@
+// Package svg renders the paper's figures as standalone SVG images using
+// only the standard library: grouped bar charts with standard-deviation
+// whiskers and prediction diamonds (Figures 2, 4, 5), stacked bars
+// (Figure 3) and scatter series (Figure 6).
+package svg
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Canvas accumulates SVG elements.
+type Canvas struct {
+	W, H float64
+	b    strings.Builder
+}
+
+// NewCanvas creates an empty canvas of the given pixel size.
+func NewCanvas(w, h float64) *Canvas {
+	return &Canvas{W: w, H: h}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func coord(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		v = 0
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Rect draws a filled rectangle.
+func (c *Canvas) Rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&c.b, `<rect x="%s" y="%s" width="%s" height="%s" fill="%s"/>`+"\n",
+		coord(x), coord(y), coord(w), coord(h), esc(fill))
+}
+
+// Line draws a stroked line.
+func (c *Canvas) Line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&c.b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s" stroke-width="%s"/>`+"\n",
+		coord(x1), coord(y1), coord(x2), coord(y2), esc(stroke), coord(width))
+}
+
+// Text draws text; anchor is "start", "middle" or "end".
+func (c *Canvas) Text(x, y float64, s, anchor string, size float64) {
+	fmt.Fprintf(&c.b, `<text x="%s" y="%s" text-anchor="%s" font-size="%s" font-family="sans-serif">%s</text>`+"\n",
+		coord(x), coord(y), esc(anchor), coord(size), esc(s))
+}
+
+// TextRotated draws text rotated by deg around its anchor point.
+func (c *Canvas) TextRotated(x, y float64, s, anchor string, size, deg float64) {
+	fmt.Fprintf(&c.b, `<text x="%s" y="%s" text-anchor="%s" font-size="%s" font-family="sans-serif" transform="rotate(%s %s %s)">%s</text>`+"\n",
+		coord(x), coord(y), esc(anchor), coord(size), coord(deg), coord(x), coord(y), esc(s))
+}
+
+// Diamond draws a diamond marker centered at (x, y).
+func (c *Canvas) Diamond(x, y, r float64, fill string) {
+	fmt.Fprintf(&c.b, `<path d="M %s %s L %s %s L %s %s L %s %s Z" fill="%s" stroke="black" stroke-width="0.5"/>`+"\n",
+		coord(x), coord(y-r), coord(x+r), coord(y),
+		coord(x), coord(y+r), coord(x-r), coord(y), esc(fill))
+}
+
+// Circle draws a filled circle.
+func (c *Canvas) Circle(x, y, r float64, fill string) {
+	fmt.Fprintf(&c.b, `<circle cx="%s" cy="%s" r="%s" fill="%s"/>`+"\n",
+		coord(x), coord(y), coord(r), esc(fill))
+}
+
+// Render writes the complete SVG document.
+func (c *Canvas) Render(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%s" height="%s" viewBox="0 0 %s %s">`+"\n"+
+			`<rect width="100%%" height="100%%" fill="white"/>`+"\n%s</svg>\n",
+		coord(c.W), coord(c.H), coord(c.W), coord(c.H), c.b.String())
+	return err
+}
+
+// Palette is the default series color cycle.
+var Palette = []string{
+	"#2e7d32", // green (the paper colors its own technique green)
+	"#f9a825", // amber
+	"#c62828", // red
+	"#1565c0", // blue
+	"#6a1b9a", // purple
+	"#00838f", // teal
+}
+
+// Color returns the i-th palette color, cycling.
+func Color(i int) string { return Palette[i%len(Palette)] }

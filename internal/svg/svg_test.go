@@ -1,0 +1,184 @@
+package svg
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+// wellFormed parses the output as XML to catch escaping/structure bugs.
+func wellFormed(t *testing.T, out string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("output is not well-formed XML: %v\n%s", err, out)
+		}
+	}
+}
+
+func TestCanvasPrimitives(t *testing.T) {
+	c := NewCanvas(100, 50)
+	c.Rect(1, 2, 3, 4, "#ff0000")
+	c.Line(0, 0, 10, 10, "black", 1)
+	c.Text(5, 5, `a<b>&"c"`, "middle", 10)
+	c.TextRotated(5, 5, "rot", "start", 9, -45)
+	c.Diamond(10, 10, 3, "#00ff00")
+	c.Circle(20, 20, 2, "blue")
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wellFormed(t, out)
+	for _, want := range []string{"<svg", "a&lt;b&gt;&amp;&quot;c&quot;", "rotate(-45", "viewBox"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestCoordSanitizesNonFinite(t *testing.T) {
+	if coord(math.NaN()) != "0.00" || coord(math.Inf(1)) != "0.00" {
+		t.Fatal("non-finite coordinates must be sanitized")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	b := &BarChart{
+		Title:      "eff",
+		YLabel:     "efficiency",
+		Categories: []string{"M", "B", "D1"},
+		YMax:       1,
+		Series: []Series{
+			{
+				Name:     "dauwe",
+				Values:   []float64{0.95, 0.8, 0.7},
+				Whiskers: []float64{0.01, 0.02, 0.03},
+				Markers:  []float64{0.96, 0.81, math.NaN()},
+			},
+			{Name: "daly", Values: []float64{0.9, 0.5, 0.4}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := b.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wellFormed(t, out)
+	if !strings.Contains(out, "dauwe") || !strings.Contains(out, "D1") {
+		t.Error("labels missing")
+	}
+	// Two marker diamonds (third is NaN).
+	if got := strings.Count(out, "<path"); got != 2 {
+		t.Errorf("diamonds = %d, want 2", got)
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	bad := []*BarChart{
+		{},
+		{Categories: []string{"a"}},
+		{Categories: []string{"a"}, Series: []Series{{Name: "s", Values: []float64{1, 2}}}},
+		{Categories: []string{"a"}, Series: []Series{{Name: "s", Values: []float64{1}, Whiskers: []float64{1, 2}}}},
+		{Categories: []string{"a"}, Series: []Series{{Name: "s", Values: []float64{1}, Markers: []float64{1, 2}}}},
+	}
+	for i, b := range bad {
+		if err := b.Render(&bytes.Buffer{}); err == nil {
+			t.Errorf("bad chart %d accepted", i)
+		}
+	}
+}
+
+func TestBarChartAutoYMax(t *testing.T) {
+	b := &BarChart{
+		Categories: []string{"a"},
+		Series:     []Series{{Name: "s", Values: []float64{2.0}, Whiskers: []float64{0.5}}},
+	}
+	if got := b.yMax(); math.Abs(got-2.5*1.05) > 1e-9 {
+		t.Fatalf("auto ymax = %v", got)
+	}
+	empty := &BarChart{Categories: []string{"a"}, Series: []Series{{Name: "s", Values: []float64{0}}}}
+	if got := empty.yMax(); got != 1 {
+		t.Fatalf("zero-data ymax = %v", got)
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	s := &StackedBar{
+		Title:      "breakdown",
+		Categories: []string{"D8/dauwe", "D8/di"},
+		Components: []string{"useful", "lost", "ckpt ok", "ckpt fail", "restart ok", "restart fail"},
+		Shares: [][]float64{
+			{0.4, 0.2, 0.1, 0.15, 0.05, 0.1},
+			{0.35, 0.25, 0.1, 0.15, 0.05, 0.1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.String())
+	if !strings.Contains(buf.String(), "restart fail") {
+		t.Error("legend missing")
+	}
+}
+
+func TestStackedBarValidation(t *testing.T) {
+	bad := []*StackedBar{
+		{},
+		{Categories: []string{"a"}, Components: []string{"x"}, Shares: [][]float64{}},
+		{Categories: []string{"a"}, Components: []string{"x"}, Shares: [][]float64{{0.5, 0.5}}},
+	}
+	for i, s := range bad {
+		if err := s.Render(&bytes.Buffer{}); err == nil {
+			t.Errorf("bad stacked chart %d accepted", i)
+		}
+	}
+}
+
+func TestScatter(t *testing.T) {
+	s := &Scatter{
+		Title:      "error",
+		YLabel:     "pred − sim",
+		Categories: []string{"1", "2", "3"},
+		Series: []Series{
+			{Name: "dauwe", Values: []float64{0.001, -0.002, 0.004}},
+			{Name: "moody", Values: []float64{-0.02, -0.05, -0.073}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.String())
+	// Zero line present (red).
+	if !strings.Contains(buf.String(), "#c62828") {
+		t.Error("zero line missing")
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	if err := (&Scatter{}).Render(&bytes.Buffer{}); err == nil {
+		t.Error("empty scatter accepted")
+	}
+	s := &Scatter{
+		Categories: []string{"a"},
+		Series:     []Series{{Name: "x", Values: []float64{1, 2}}},
+	}
+	if err := s.Render(&bytes.Buffer{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestPaletteCycles(t *testing.T) {
+	if Color(0) != Color(len(Palette)) {
+		t.Fatal("palette does not cycle")
+	}
+}

@@ -1,0 +1,70 @@
+package system
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonSystem is the serialized form of a System. Field names follow the
+// paper's vocabulary so config files read like Table I rows.
+type jsonSystem struct {
+	Name         string      `json:"name"`
+	Source       string      `json:"source,omitempty"`
+	MTBFMinutes  float64     `json:"mtbf_minutes"`
+	BaselineTime float64     `json:"baseline_minutes"`
+	Levels       []jsonLevel `json:"levels"`
+}
+
+type jsonLevel struct {
+	CheckpointMinutes float64 `json:"checkpoint_minutes"`
+	RestartMinutes    float64 `json:"restart_minutes"`
+	SeverityProb      float64 `json:"severity_prob"`
+}
+
+// WriteJSON serializes the system as an indented JSON document.
+func (s *System) WriteJSON(w io.Writer) error {
+	js := jsonSystem{
+		Name:         s.Name,
+		Source:       s.Source,
+		MTBFMinutes:  s.MTBF,
+		BaselineTime: s.BaselineTime,
+	}
+	for _, l := range s.Levels {
+		js.Levels = append(js.Levels, jsonLevel{
+			CheckpointMinutes: l.Checkpoint,
+			RestartMinutes:    l.Restart,
+			SeverityProb:      l.SeverityProb,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(js)
+}
+
+// ReadJSON deserializes and validates a system description.
+func ReadJSON(r io.Reader) (*System, error) {
+	var js jsonSystem
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&js); err != nil {
+		return nil, fmt.Errorf("system: decode: %w", err)
+	}
+	s := &System{
+		Name:         js.Name,
+		Source:       js.Source,
+		MTBF:         js.MTBFMinutes,
+		BaselineTime: js.BaselineTime,
+	}
+	for _, l := range js.Levels {
+		s.Levels = append(s.Levels, Level{
+			Checkpoint:   l.CheckpointMinutes,
+			Restart:      l.RestartMinutes,
+			SeverityProb: l.SeverityProb,
+		})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
