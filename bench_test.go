@@ -14,6 +14,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/model/dauwe"
 	"repro/internal/model/moody"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/report"
 	"repro/internal/rng"
@@ -157,6 +158,33 @@ func BenchmarkSimTrial(b *testing.B) {
 		if _, err := sim.RunTrial(cfg, seed.Trial(i).Rand()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSimTrialObserved is BenchmarkSimTrial with an obs.SimMetrics
+// observer attached, to measure the cost of full event-stream telemetry
+// (compare against BenchmarkSimTrial for the observer-disabled baseline;
+// see BENCH_obs.json).
+func BenchmarkSimTrialObserved(b *testing.B) {
+	sys, err := system.ByName("D4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := obs.NewSimMetrics()
+	cfg := sim.Config{
+		System:   sys,
+		Plan:     pattern.Plan{Tau0: 1.3, Counts: []int{3}, Levels: []int{1, 2}},
+		Observer: m,
+	}
+	seed := rng.Campaign(1, "bench-sim")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunTrial(cfg, seed.Trial(i).Rand()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if m.Trials() != uint64(b.N) {
+		b.Fatalf("observer saw %d trials, want %d", m.Trials(), b.N)
 	}
 }
 

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Repository check: vet, build, and race-enabled tests.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+echo "== go build ./..."
+go build ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "OK"

@@ -19,11 +19,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"repro/internal/faultlog"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -57,8 +60,26 @@ func run(args []string, stdout io.Writer) error {
 	techs := fs.String("techniques", "dauwe,di,moody,benoit,daly", "comma-separated techniques")
 	trials := fs.Int("trials", 0, "also simulate each plan over this many trials")
 	seed := fs.Uint64("seed", 1, "simulation seed")
+	metricsPath := fs.String("metrics", "", "write a simulation telemetry snapshot (JSON) to this file")
+	progress := fs.Bool("progress", false, "report trials/sec and ETA on stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	sys, err := buildSystem(*sysName, *config, *mtbf, *tb, *probs, *times)
@@ -87,12 +108,24 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintln(stdout, sys)
 
-	tab := report.NewTable("technique", "plan", "predicted eff", "sim eff (mean±σ)")
+	techNames := []string{}
 	for _, name := range strings.Split(*techs, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
+		if name = strings.TrimSpace(name); name != "" {
+			techNames = append(techNames, name)
 		}
+	}
+	var sink *obs.SimMetrics
+	if *metricsPath != "" {
+		sink = obs.NewSimMetrics()
+	}
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.NewProgress(os.Stderr, "mlckpt", int64(len(techNames)**trials))
+		defer prog.Finish()
+	}
+
+	tab := report.NewTable("technique", "plan", "predicted eff", "sim eff (mean±σ)")
+	for _, name := range techNames {
 		tech, err := model.New(name)
 		if err != nil {
 			return err
@@ -108,15 +141,59 @@ func run(args []string, stdout io.Writer) error {
 				Trials: *trials,
 				Seed:   rng.Campaign(*seed, "mlckpt").Scenario(sys.Name + "/" + name),
 			}
+			var pool *obs.Pool
+			if sink != nil {
+				pool = &obs.Pool{}
+				camp.ObserverFactory = pool.Observer
+			}
+			if prog != nil {
+				camp.TrialDone = func(sim.TrialResult) { prog.Tick() }
+			}
 			res, err := camp.Run()
 			if err != nil {
 				return fmt.Errorf("%s: simulate: %w", name, err)
+			}
+			if pool != nil {
+				m, err := pool.Merged()
+				if err != nil {
+					return err
+				}
+				if err := sink.Merge(m); err != nil {
+					return err
+				}
 			}
 			simCol = fmt.Sprintf("%.3f±%.3f", res.Efficiency.Mean, res.Efficiency.Std)
 		}
 		tab.AddRow(name, plan.String(), fmt.Sprintf("%.3f", pred.Efficiency), simCol)
 	}
-	return tab.Render(stdout)
+	if err := tab.Render(stdout); err != nil {
+		return err
+	}
+	if sink != nil {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := sink.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func buildSystem(name, config string, mtbf, tb float64, probs, times string) (*system.System, error) {

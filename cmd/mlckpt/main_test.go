@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestTableISystem(t *testing.T) {
@@ -125,5 +127,30 @@ func TestFaultlogRefit(t *testing.T) {
 	}
 	if err := run([]string{"-system", "D2", "-faultlog", filepath.Join(dir, "none.csv")}, &bytes.Buffer{}); err == nil {
 		t.Error("missing faultlog accepted")
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var out bytes.Buffer
+	err := run([]string{"-system", "D2", "-techniques", "dauwe,daly", "-trials", "5", "-metrics", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := obs.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two techniques at five trials each.
+	if got := snap.Counter("sim_trials_total"); got != 10 {
+		t.Errorf("trials = %d, want 10", got)
+	}
+	if len(snap.Histograms) == 0 {
+		t.Error("snapshot has no histograms")
 	}
 }

@@ -17,6 +17,9 @@
 //	-quiet       suppress per-scenario progress lines
 //	-wall F      per-trial wall-time cap as a multiple of T_B (default 150)
 //	-fast        low-resolution optimizer grids for smoke runs
+//	-metrics F   write an aggregate telemetry snapshot (JSON) to file F
+//	-progress    report trials/sec and ETA on stderr while running
+//	-cpuprofile F / -memprofile F   write runtime/pprof profiles
 package main
 
 import (
@@ -25,10 +28,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/system"
 )
 
 func main() {
@@ -46,6 +53,10 @@ func run(args []string, stdout io.Writer) error {
 	quiet := fs.Bool("quiet", false, "suppress progress lines")
 	wall := fs.Float64("wall", 0, "trial wall cap as multiple of T_B (0 = default 150)")
 	fast := fs.Bool("fast", false, "low-resolution optimizer grids (smoke runs)")
+	metricsPath := fs.String("metrics", "", "write an aggregate telemetry snapshot (JSON) to this file")
+	progress := fs.Bool("progress", false, "report trials/sec and ETA on stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +78,31 @@ func run(args []string, stdout io.Writer) error {
 	if which == "all" {
 		targets = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6"}
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	var sink *obs.SimMetrics
+	if *metricsPath != "" {
+		sink = obs.NewSimMetrics()
+		opt.Metrics = sink
+	}
+	if *progress {
+		prog := obs.NewProgress(os.Stderr, "repro", trialBudget(targets, opt))
+		opt.TrialDone = prog.Tick
+		defer prog.Finish()
+	}
 	// fig6 is derived from fig4's grid; when both run, share the run.
 	var sharedFig4 *experiments.Fig4Result
 	for _, target := range targets {
@@ -78,7 +114,65 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(os.Stderr, "%s done in %v\n", target, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	if sink != nil {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := sink.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// trialBudget estimates the total simulated trials the chosen targets
+// will run, for the progress reporter's ETA. Targets whose trial counts
+// are not statically known contribute 0 (the reporter then shows rate
+// without an ETA when everything is unknown).
+func trialBudget(targets []string, opt experiments.Options) int64 {
+	nsys := int64(len(system.TableI()))
+	trials := func(def int) int64 {
+		if opt.Trials > 0 {
+			return int64(opt.Trials)
+		}
+		return int64(def)
+	}
+	var total int64
+	seenFig4 := false
+	for _, t := range targets {
+		switch t {
+		case "fig2":
+			total += nsys * int64(len(experiments.Fig2Techniques)) * trials(200)
+		case "fig3":
+			total += nsys * int64(len(experiments.BestTechniques)) * trials(200)
+		case "fig4":
+			total += int64(len(experiments.Fig4MTBFs)*len(experiments.Fig4PFSCosts)*len(experiments.BestTechniques)) * trials(200)
+			seenFig4 = true
+		case "fig5":
+			total += int64(len(experiments.Fig4MTBFs)*2*len(experiments.BestTechniques)) * trials(400)
+		case "fig6":
+			if !seenFig4 { // otherwise fig6 reuses fig4's run
+				total += int64(len(experiments.Fig4MTBFs)*len(experiments.Fig4PFSCosts)*len(experiments.BestTechniques)) * trials(200)
+			}
+		}
+	}
+	return total
 }
 
 // artifact opens DIR/name for writing (or returns nil when no out dir).

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestTable1ToStdout(t *testing.T) {
@@ -120,5 +122,45 @@ func TestAblationAndSensitivityTargets(t *testing.T) {
 		if out.Len() == 0 {
 			t.Errorf("%s produced no stdout", target)
 		}
+	}
+}
+
+func TestMetricsSnapshotArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs optimizers and simulations")
+	}
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var out bytes.Buffer
+	err := run([]string{"-quiet", "-fast", "-trials", "4", "-wall", "25", "-metrics", path, "sensitivity"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := obs.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := snap.Counter("sim_trials_total")
+	if trials == 0 {
+		t.Fatal("snapshot records no trials")
+	}
+	if got := snap.Counter("sim_trials_completed") + snap.Counter("sim_trials_capped"); got != trials {
+		t.Errorf("completed+capped = %d, want %d", got, trials)
+	}
+	var wall *obs.HistogramSnapshot
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "sim_trial_wall_minutes" {
+			wall = &snap.Histograms[i]
+		}
+	}
+	if wall == nil {
+		t.Fatal("snapshot has no wall-time histogram")
+	}
+	if wall.Count != trials {
+		t.Errorf("wall histogram count = %d, want %d", wall.Count, trials)
 	}
 }

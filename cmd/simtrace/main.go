@@ -5,6 +5,7 @@
 // Usage:
 //
 //	simtrace -system D4 -tau0 1.2 -counts 3 [-levels 1,2] [-json out.json]
+//	simtrace -system D4 -summary        # phase-time breakdown table
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -41,6 +43,7 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 1, "trial seed")
 	jsonPath := fs.String("json", "", "write the full event trace as JSON to this path")
 	maxEvents := fs.Int("print", 25, "print at most this many events to stdout")
+	summary := fs.Bool("summary", false, "print the per-trial phase-time breakdown table instead of the raw event stream")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,7 +86,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	rec := &trace.Recorder{}
-	cfg := sim.Config{System: sys, Plan: plan, Observer: rec}
+	metrics := obs.NewSimMetrics()
+	cfg := sim.Config{System: sys, Plan: plan, Observer: obs.Multi(rec, metrics)}
 	res, err := sim.RunTrial(cfg, rng.Campaign(*seed, "simtrace").Trial(0).Rand())
 	if err != nil {
 		return err
@@ -95,16 +99,22 @@ func run(args []string, stdout io.Writer) error {
 	b := res.Breakdown
 	fmt.Fprintf(stdout, "breakdown: useful=%.2f lost=%.2f ckptOK=%.2f ckptFail=%.2f restartOK=%.2f restartFail=%.2f\n",
 		b.UsefulCompute, b.LostCompute, b.CheckpointOK, b.CheckpointFail, b.RestartOK, b.RestartFail)
-	counts2 := rec.Counts()
-	fmt.Fprintf(stdout, "events: %d total (%d failures, %d phase ends)\n",
-		len(rec.Records), counts2["failure"], counts2["phase_end"])
-	for i, r := range rec.Records {
-		if i >= *maxEvents {
-			fmt.Fprintf(stdout, "... %d more events\n", len(rec.Records)-i)
-			break
+	if *summary {
+		if err := metrics.WriteSummary(stdout); err != nil {
+			return err
 		}
-		fmt.Fprintf(stdout, "  t=%9.3f %-12s %-10s level=%d progress=%.2f\n",
-			r.Time, r.Kind, r.Phase, r.Level, r.Progress)
+	} else {
+		counts2 := rec.Counts()
+		fmt.Fprintf(stdout, "events: %d total (%d failures, %d phase ends)\n",
+			len(rec.Records), counts2["failure"], counts2["phase_end"])
+		for i, r := range rec.Records {
+			if i >= *maxEvents {
+				fmt.Fprintf(stdout, "... %d more events\n", len(rec.Records)-i)
+				break
+			}
+			fmt.Fprintf(stdout, "  t=%9.3f %-12s %-10s level=%d progress=%.2f\n",
+				r.Time, r.Kind, r.Phase, r.Level, r.Progress)
+		}
 	}
 
 	if *jsonPath != "" {

@@ -79,3 +79,20 @@ func TestErrors(t *testing.T) {
 		t.Errorf("negative tau0 fallback failed: %v", err)
 	}
 }
+
+func TestSummaryTable(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-system", "D4", "-tau0", "1.3", "-counts", "3", "-summary"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"phase breakdown over 1 trial(s)", "compute/useful", "total", "failures by severity"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "events:") {
+		t.Errorf("-summary still printed the raw event listing:\n%s", s)
+	}
+}

@@ -66,7 +66,7 @@ func PolicyAblation(opt Options, systems []string) (*AblationResult, error) {
 		}
 		row := AblationRow{System: name, Plan: plan.String()}
 		for i, policy := range []sim.RestartPolicy{sim.RetryPolicy, sim.EscalatePolicy} {
-			res, err := sim.Campaign{
+			res, _, err := opt.runCampaign(sim.Campaign{
 				Config: sim.Config{
 					System: sys, Plan: plan, Policy: policy,
 					MaxWallFactor: opt.wallFactor(),
@@ -74,7 +74,7 @@ func PolicyAblation(opt Options, systems []string) (*AblationResult, error) {
 				Trials:  trials,
 				Seed:    seed.Scenario(fmt.Sprintf("%s/p%d", name, i)),
 				Workers: opt.Workers,
-			}.Run()
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -129,7 +129,7 @@ func WeibullAblation(opt Options, shape float64, systems []string) (*AblationRes
 		}
 		row := AblationRow{System: name, Plan: plan.String()}
 		for i, fl := range [][]dist.Sampler{nil, laws} {
-			res, err := sim.Campaign{
+			res, _, err := opt.runCampaign(sim.Campaign{
 				Config: sim.Config{
 					System: sys, Plan: plan, FailureLaws: fl,
 					MaxWallFactor: opt.wallFactor(),
@@ -137,7 +137,7 @@ func WeibullAblation(opt Options, shape float64, systems []string) (*AblationRes
 				Trials:  trials,
 				Seed:    seed.Scenario(fmt.Sprintf("%s/w%d", name, i)),
 				Workers: opt.Workers,
-			}.Run()
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -213,7 +213,7 @@ func AsyncAblation(opt Options, systems []string) (*AblationResult, error) {
 		}
 		row := AblationRow{System: name, Plan: plan.String()}
 		for i, async := range []bool{false, true} {
-			res, err := sim.Campaign{
+			res, _, err := opt.runCampaign(sim.Campaign{
 				Config: sim.Config{
 					System: sys, Plan: plan, AsyncTopFlush: async,
 					MaxWallFactor: opt.wallFactor(),
@@ -221,7 +221,7 @@ func AsyncAblation(opt Options, systems []string) (*AblationResult, error) {
 				Trials:  trials,
 				Seed:    seed.Scenario(fmt.Sprintf("%s/a%d", name, i)),
 				Workers: opt.Workers,
-			}.Run()
+			})
 			if err != nil {
 				return nil, err
 			}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -46,6 +47,17 @@ type Options struct {
 	// Fast lowers every optimizer's grid resolution. Benchmarks and
 	// smoke tests use it; paper-scale runs leave it false.
 	Fast bool
+	// Metrics, when non-nil, is a global telemetry sink: every campaign
+	// runs with per-worker obs.SimMetrics shards, which are merged into
+	// the per-cell metrics and folded into this sink.
+	Metrics *obs.SimMetrics
+	// CollectMetrics attaches per-cell metrics even without a global
+	// sink.
+	CollectMetrics bool
+	// TrialDone, when non-nil, is called once per simulated trial across
+	// every scenario; it must be safe for concurrent use (progress
+	// reporting hook).
+	TrialDone func()
 }
 
 // fastCounts is the reduced N_i candidate set used in Fast mode.
@@ -86,6 +98,9 @@ type Cell struct {
 	Plan      pattern.Plan
 	Predicted model.Prediction
 	Sim       sim.CampaignResult
+	// Metrics holds the campaign's merged simulator telemetry when
+	// Options enabled collection (nil otherwise).
+	Metrics *obs.SimMetrics
 }
 
 // PredictionError returns predicted minus simulated efficiency (the
@@ -116,6 +131,36 @@ func newTechnique(name string, fast bool) (model.Technique, error) {
 	return tech, nil
 }
 
+// runCampaign executes a campaign with the Options' telemetry hooks
+// attached: per-trial progress ticks, and — when metrics collection is
+// on — one obs.SimMetrics shard per worker, merged after the run and
+// folded into the global sink. Returns the merged per-campaign metrics
+// (nil when collection is off).
+func (o Options) runCampaign(camp sim.Campaign) (sim.CampaignResult, *obs.SimMetrics, error) {
+	if o.TrialDone != nil {
+		camp.TrialDone = func(sim.TrialResult) { o.TrialDone() }
+	}
+	var pool *obs.Pool
+	if o.Metrics != nil || o.CollectMetrics {
+		pool = &obs.Pool{}
+		camp.ObserverFactory = pool.Observer
+	}
+	res, err := camp.Run()
+	if err != nil || pool == nil {
+		return res, nil, err
+	}
+	m, err := pool.Merged()
+	if err != nil {
+		return res, nil, err
+	}
+	if o.Metrics != nil {
+		if err := o.Metrics.Merge(m); err != nil {
+			return res, nil, err
+		}
+	}
+	return res, m, nil
+}
+
 // evaluate optimizes one technique for one system and simulates the
 // resulting plan.
 func evaluate(sys *system.System, techName string, trials int, seed rng.Seed, opt Options) (Cell, error) {
@@ -138,7 +183,7 @@ func evaluate(sys *system.System, techName string, trials int, seed rng.Seed, op
 		Seed:    seed.Scenario(sys.Name + "/" + techName),
 		Workers: opt.Workers,
 	}
-	res, err := camp.Run()
+	res, metrics, err := opt.runCampaign(camp)
 	if err != nil {
 		return Cell{}, fmt.Errorf("%s on %s: simulate: %w", techName, sys.Name, err)
 	}
@@ -148,6 +193,7 @@ func evaluate(sys *system.System, techName string, trials int, seed rng.Seed, op
 		Plan:      plan,
 		Predicted: pred,
 		Sim:       res,
+		Metrics:   metrics,
 	}, nil
 }
 

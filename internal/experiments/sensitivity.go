@@ -71,14 +71,14 @@ func Sensitivity(opt Options, systemName string, multipliers []float64) (*Sensit
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.Campaign{
+		res, _, err := opt.runCampaign(sim.Campaign{
 			Config: sim.Config{
 				System: sys, Plan: plan, MaxWallFactor: opt.wallFactor(),
 			},
 			Trials:  trials,
 			Seed:    seed.Scenario(fmt.Sprintf("%s/x%g", systemName, m)),
 			Workers: opt.Workers,
-		}.Run()
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/system"
 )
 
@@ -92,12 +93,42 @@ func WriteCSV(w io.Writer, entries []Entry) error {
 type Fit struct {
 	// Duration is the observation window in minutes.
 	Duration float64
-	// Counts holds failures per severity (index 0 = severity 1).
+	// Counts holds failures per severity (index 0 = severity 1),
+	// derived from the Metrics counter family.
 	Counts []int
 	// Rates holds the MLE rates count/duration per severity.
 	Rates []float64
 	// MTBF is 1 / Σ rates.
 	MTBF float64
+	// Metrics is the tally registry behind the fit: the counter family
+	// faultlog_failures_total{severity=...} and the
+	// faultlog_interarrival_minutes histogram — the same aggregation
+	// substrate the simulator's telemetry uses (internal/obs), so log
+	// analysis and simulation metrics agree on one path.
+	Metrics *obs.Registry
+}
+
+// Tally aggregates a (sorted) log into an obs registry: one
+// faultlog_failures_total counter per severity class and the
+// faultlog_interarrival_minutes histogram over aggregate inter-arrival
+// times.
+func Tally(entries []Entry, numSeverities int) (*obs.Registry, error) {
+	reg := obs.NewRegistry()
+	counters := make([]*obs.Counter, numSeverities)
+	for s := range counters {
+		counters[s] = reg.Counter("faultlog_failures_total", "severity", strconv.Itoa(s+1))
+	}
+	inter := reg.Histogram("faultlog_interarrival_minutes")
+	prev := 0.0
+	for _, e := range entries {
+		if e.Severity < 1 || e.Severity > numSeverities {
+			return nil, fmt.Errorf("faultlog: severity %d exceeds %d classes", e.Severity, numSeverities)
+		}
+		counters[e.Severity-1].Inc()
+		inter.Observe(e.Time - prev)
+		prev = e.Time
+	}
+	return reg, nil
 }
 
 // Analyze fits per-severity exponential rates. numSeverities bounds the
@@ -116,15 +147,18 @@ func Analyze(entries []Entry, numSeverities int, duration float64) (Fit, error) 
 	if !(duration > 0) {
 		return Fit{}, fmt.Errorf("faultlog: window %v must be positive", duration)
 	}
-	f := Fit{Duration: duration, Counts: make([]int, numSeverities)}
 	for _, e := range entries {
-		if e.Severity > numSeverities {
-			return Fit{}, fmt.Errorf("faultlog: severity %d exceeds %d classes", e.Severity, numSeverities)
-		}
 		if e.Time > duration {
 			return Fit{}, fmt.Errorf("faultlog: entry at %v outside window %v", e.Time, duration)
 		}
-		f.Counts[e.Severity-1]++
+	}
+	reg, err := Tally(entries, numSeverities)
+	if err != nil {
+		return Fit{}, err
+	}
+	f := Fit{Duration: duration, Counts: make([]int, numSeverities), Metrics: reg}
+	for s := 1; s <= numSeverities; s++ {
+		f.Counts[s-1] = int(reg.Counter("faultlog_failures_total", "severity", strconv.Itoa(s)).Value())
 	}
 	var total float64
 	f.Rates = make([]float64, numSeverities)

@@ -2,6 +2,7 @@ package faultlog
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"strings"
@@ -267,5 +268,54 @@ func TestEndToEndLogToSystem(t *testing.T) {
 	}
 	if math.Abs(cv2-1) > 0.1 {
 		t.Fatalf("merged Poisson processes cv² = %v", cv2)
+	}
+}
+
+func TestTallyAgreesWithCounts(t *testing.T) {
+	entries := []Entry{
+		{Time: 5, Severity: 1},
+		{Time: 9, Severity: 3},
+		{Time: 20, Severity: 1},
+		{Time: 31, Severity: 2},
+		{Time: 44, Severity: 1},
+	}
+	fit, err := Analyze(entries, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Metrics == nil {
+		t.Fatal("fit carries no metrics registry")
+	}
+	snap := fit.Metrics.Snapshot()
+	if got := snap.Counter("faultlog_failures_total"); got != uint64(len(entries)) {
+		t.Errorf("counter family total = %d, want %d", got, len(entries))
+	}
+	var fromCounts int
+	for sev, n := range fit.Counts {
+		fromCounts += n
+		got := fit.Metrics.Counter("faultlog_failures_total", "severity", fmt.Sprint(sev+1)).Value()
+		if got != uint64(n) {
+			t.Errorf("severity %d: counter %d != Counts %d", sev+1, got, n)
+		}
+	}
+	if fromCounts != len(entries) {
+		t.Errorf("Counts sum to %d", fromCounts)
+	}
+	h := fit.Metrics.Histogram("faultlog_interarrival_minutes")
+	if h.Count() != uint64(len(entries)) {
+		t.Errorf("inter-arrival samples = %d, want %d", h.Count(), len(entries))
+	}
+	// Inter-arrivals telescope: their sum is the last arrival time.
+	if math.Abs(h.Sum()-44) > 1e-12 {
+		t.Errorf("inter-arrival sum = %v, want 44", h.Sum())
+	}
+	if h.Min() != 4 || h.Max() != 13 {
+		t.Errorf("inter-arrival min/max = %v/%v, want 4/13", h.Min(), h.Max())
+	}
+}
+
+func TestTallyRejectsOutOfRangeSeverity(t *testing.T) {
+	if _, err := Tally([]Entry{{Time: 1, Severity: 4}}, 3); err == nil {
+		t.Fatal("severity above the class count accepted")
 	}
 }

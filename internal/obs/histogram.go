@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Default bucket scheme: log-scaled buckets spanning [1e-9, 1e12) with
+// BucketsPerDecade buckets per decade, plus an underflow bucket for
+// values <= Lo (including zero and negatives) and an overflow bucket for
+// values > Hi. Simulated times are minutes, so the range comfortably
+// covers sub-microsecond phases through multi-century wall times.
+const (
+	defaultLo               = 1e-9
+	defaultHi               = 1e12
+	defaultBucketsPerDecade = 8
+)
+
+// Histogram is a streaming histogram over fixed log-scaled buckets with
+// exact min/max/mean/stddev and bucket-interpolated quantiles. Non-finite
+// observations (NaN, ±Inf) are rejected and tallied separately. Not safe
+// for concurrent use; shard per goroutine and Merge.
+type Histogram struct {
+	lo        float64
+	hi        float64
+	perDecade int
+	nb        int // log buckets, excluding under/overflow
+
+	counts   []uint64 // len nb+2 once allocated: [under, b1..bnb, over]
+	count    uint64
+	rejected uint64
+	sum      float64
+	sumSq    float64
+	min      float64
+	max      float64
+}
+
+// NewHistogram returns a histogram with the default bucket scheme.
+func NewHistogram() *Histogram {
+	h, err := NewHistogramScheme(defaultLo, defaultHi, defaultBucketsPerDecade)
+	if err != nil {
+		panic(err) // defaults are statically valid
+	}
+	return h
+}
+
+// NewHistogramScheme returns a histogram with log-scaled buckets of
+// perDecade buckets per decade spanning (lo, hi].
+func NewHistogramScheme(lo, hi float64, perDecade int) (*Histogram, error) {
+	if !(lo > 0) || !(hi > lo) || perDecade < 1 {
+		return nil, fmt.Errorf("obs: invalid histogram scheme lo=%v hi=%v perDecade=%d", lo, hi, perDecade)
+	}
+	nb := int(math.Ceil(math.Log10(hi/lo)*float64(perDecade) - 1e-9))
+	return &Histogram{lo: lo, hi: hi, perDecade: perDecade, nb: nb}, nil
+}
+
+// bucketIndex maps a finite value into [0, nb+1].
+func (h *Histogram) bucketIndex(v float64) int {
+	if v <= h.lo {
+		return 0
+	}
+	if v > h.hi {
+		return h.nb + 1
+	}
+	idx := 1 + int(math.Floor(math.Log10(v/h.lo)*float64(h.perDecade)))
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > h.nb {
+		idx = h.nb
+	}
+	return idx
+}
+
+// upperBound returns the inclusive upper bound of bucket i in [0, nb+1].
+func (h *Histogram) upperBound(i int) float64 {
+	switch {
+	case i <= 0:
+		return h.lo
+	case i > h.nb:
+		return math.Inf(1)
+	default:
+		return h.lo * math.Pow(10, float64(i)/float64(h.perDecade))
+	}
+}
+
+// Observe records one sample. NaN and ±Inf are rejected (counted in
+// Rejected, excluded from every statistic).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.rejected++
+		return
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, h.nb+2)
+	}
+	h.counts[h.bucketIndex(v)]++
+	if h.count == 0 {
+		h.min, h.max = v, v
+	} else {
+		if v < h.min {
+			h.min = v
+		}
+		if v > h.max {
+			h.max = v
+		}
+	}
+	h.count++
+	h.sum += v
+	h.sumSq += v * v
+}
+
+// Count returns the number of accepted samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Rejected returns the number of rejected (non-finite) samples.
+func (h *Histogram) Rejected() uint64 { return h.rejected }
+
+// Sum returns the sum of accepted samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Min returns the smallest sample (NaN when empty).
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	return h.min
+}
+
+// Max returns the largest sample (NaN when empty).
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	return h.max
+}
+
+// Mean returns the sample mean (NaN when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.count)
+}
+
+// Std returns the sample standard deviation (NaN when empty, 0 for a
+// single sample).
+func (h *Histogram) Std() float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	if h.count == 1 {
+		return 0
+	}
+	n := float64(h.count)
+	mean := h.sum / n
+	v := (h.sumSq - n*mean*mean) / (n - 1)
+	if v < 0 {
+		v = 0 // rounding
+	}
+	return math.Sqrt(v)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by geometric
+// interpolation within the containing bucket, clamped to the exact
+// [Min, Max] range; estimates are non-decreasing in q. Returns NaN when
+// the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := q * float64(h.count)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			v := h.interp(i, (target-cum)/float64(c))
+			// Clamp to the observed range (bucket bounds are coarser
+			// than the exact extremes).
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// interp interpolates a value at fraction frac within bucket i.
+func (h *Histogram) interp(i int, frac float64) float64 {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	switch {
+	case i == 0:
+		// Underflow bucket has no lower bound; report its upper bound
+		// (the clamp pulls it to min when appropriate).
+		return h.lo
+	case i > h.nb:
+		// Overflow bucket is unbounded above; report the exact max.
+		return h.max
+	default:
+		lower := h.upperBound(i - 1)
+		upper := h.upperBound(i)
+		return lower * math.Pow(upper/lower, frac)
+	}
+}
+
+// Merge adds o's samples into h. The two histograms must share the same
+// bucket scheme.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil || o == h {
+		return nil
+	}
+	if h.lo != o.lo || h.hi != o.hi || h.perDecade != o.perDecade {
+		return fmt.Errorf("obs: histogram scheme mismatch: (%g,%g,%d) vs (%g,%g,%d)",
+			h.lo, h.hi, h.perDecade, o.lo, o.hi, o.perDecade)
+	}
+	h.rejected += o.rejected
+	if o.count == 0 {
+		return nil
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, h.nb+2)
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 {
+		h.min, h.max = o.min, o.max
+	} else {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+	h.count += o.count
+	h.sum += o.sum
+	h.sumSq += o.sumSq
+	return nil
+}
+
+// HistogramBucket is one non-empty bucket in a snapshot: Count samples
+// at values <= UpperBound (and above the previous bucket's bound).
+type HistogramBucket struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// HistogramSnapshot is one histogram in a snapshot. Quantiles holds the
+// p50/p90/p99 estimates; Buckets lists only non-empty buckets.
+type HistogramSnapshot struct {
+	Name     string            `json:"name"`
+	Labels   []Label           `json:"labels,omitempty"`
+	Count    uint64            `json:"count"`
+	Rejected uint64            `json:"rejected,omitempty"`
+	Sum      float64           `json:"sum"`
+	Min      float64           `json:"min"`
+	Max      float64           `json:"max"`
+	Mean     float64           `json:"mean"`
+	Std      float64           `json:"std"`
+	P50      float64           `json:"p50"`
+	P90      float64           `json:"p90"`
+	P99      float64           `json:"p99"`
+	Buckets  []HistogramBucket `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot(name string, labels []Label) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name: name, Labels: labels,
+		Count: h.count, Rejected: h.rejected, Sum: h.sum,
+	}
+	if h.count > 0 {
+		s.Min, s.Max, s.Mean, s.Std = h.min, h.max, h.Mean(), h.Std()
+		s.P50, s.P90, s.P99 = h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99)
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		ub := h.upperBound(i)
+		if math.IsInf(ub, 1) {
+			ub = h.max // JSON cannot carry +Inf; the exact max bounds the overflow bucket
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{UpperBound: ub, Count: c})
+	}
+	return s
+}

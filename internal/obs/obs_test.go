@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryFamilies(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits", "level", "1", "outcome", "ok")
+	// Same labels in a different order resolve to the same instrument.
+	b := r.Counter("hits", "outcome", "ok", "level", "1")
+	if a != b {
+		t.Fatal("label order changed instrument identity")
+	}
+	a.Inc()
+	a.Add(2)
+	r.Counter("hits", "level", "2", "outcome", "ok").Add(5)
+	r.Counter("misses").Inc()
+
+	s := r.Snapshot()
+	if got := s.Counter("hits"); got != 8 {
+		t.Errorf("family sum = %d, want 8", got)
+	}
+	if got := s.Counter("misses"); got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+	if got := s.Counter("absent"); got != 0 {
+		t.Errorf("absent = %d, want 0", got)
+	}
+	if len(s.Counters) != 3 {
+		t.Errorf("snapshot has %d counters, want 3", len(s.Counters))
+	}
+}
+
+func TestRegistryKindConflict(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestLabelsOddPairPanic(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd label pair count did not panic")
+		}
+	}()
+	r.Counter("x", "key-without-value")
+}
+
+func TestRegistryMerge(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("c", "k", "v").Add(3)
+	a.Gauge("g1").Set(1)
+	a.Gauge("g2").Set(7)
+	a.Histogram("h").Observe(10)
+
+	b := NewRegistry()
+	b.Counter("c", "k", "v").Add(4)
+	b.Counter("only_in_b").Inc()
+	b.Gauge("g1").Set(9)
+	b.Gauge("g2") // registered but never set: must not clobber a's 7
+	b.Histogram("h").Observe(20)
+
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Counter("c", "k", "v").Value(); got != 7 {
+		t.Errorf("merged counter = %d, want 7", got)
+	}
+	if got := a.Counter("only_in_b").Value(); got != 1 {
+		t.Errorf("adopted counter = %d, want 1", got)
+	}
+	if got := a.Gauge("g1").Value(); got != 9 {
+		t.Errorf("merged gauge = %v, want 9 (last writer wins)", got)
+	}
+	if got := a.Gauge("g2").Value(); got != 7 {
+		t.Errorf("unset gauge overwrote value: %v, want 7", got)
+	}
+	h := a.Histogram("h")
+	if h.Count() != 2 || h.Sum() != 30 {
+		t.Errorf("merged histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryMergeKindMismatch(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("x")
+	b := NewRegistry()
+	b.Gauge("x").Set(1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging a gauge into a counter succeeded")
+	}
+}
+
+func TestSnapshotJSONRoundtrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim_trials_total").Add(42)
+	r.Counter("sim_failures_total", "severity", "1").Add(10)
+	r.Counter("sim_failures_total", "severity", "2").Add(3)
+	r.Gauge("temperature").Set(36.6)
+	h := r.Histogram("latency")
+	for _, v := range []float64{0.5, 1, 2, 4, 1e15} { // 1e15 lands in overflow
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v (payload: %s)", err, buf.String())
+	}
+	if got := s.Counter("sim_trials_total"); got != 42 {
+		t.Errorf("trials = %d", got)
+	}
+	if got := s.Counter("sim_failures_total"); got != 13 {
+		t.Errorf("failure family sum = %d, want 13", got)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != 36.6 {
+		t.Errorf("gauges = %+v", s.Gauges)
+	}
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(s.Histograms))
+	}
+	hs := s.Histograms[0]
+	if hs.Count != 5 || hs.Max != 1e15 || hs.Min != 0.5 {
+		t.Errorf("histogram snapshot count=%d min=%v max=%v", hs.Count, hs.Min, hs.Max)
+	}
+	var n uint64
+	for _, b := range hs.Buckets {
+		n += b.Count
+	}
+	if n != hs.Count {
+		t.Errorf("bucket counts sum to %d, want %d", n, hs.Count)
+	}
+}
+
+func TestProgress(t *testing.T) {
+	var buf bytes.Buffer
+	clock := time.Unix(0, 0)
+	p := NewProgress(&buf, "test", 100)
+	p.now = func() time.Time { return clock }
+	p.start = clock
+
+	p.Tick() // the very first tick always emits a line
+	if !strings.Contains(buf.String(), "test: 1/100 trials") {
+		t.Fatalf("first line = %q", buf.String())
+	}
+	buf.Reset()
+	p.Tick() // within the throttle period: silent
+	if buf.Len() != 0 {
+		t.Fatalf("tick emitted despite throttle: %q", buf.String())
+	}
+	clock = clock.Add(2 * time.Second)
+	p.Add(18)
+	out := buf.String()
+	if !strings.Contains(out, "test: 20/100 trials (20.0%)") {
+		t.Errorf("progress line = %q", out)
+	}
+	if !strings.Contains(out, "10.0 trials/s") {
+		t.Errorf("rate missing: %q", out)
+	}
+	if !strings.Contains(out, "ETA 8s") {
+		t.Errorf("ETA missing: %q", out)
+	}
+	buf.Reset()
+	clock = clock.Add(8 * time.Second)
+	p.Add(80)
+	p.Finish()
+	out = buf.String()
+	if !strings.Contains(out, "done — 100/100 trials (100.0%)") {
+		t.Errorf("finish line = %q", out)
+	}
+}
+
+func TestProgressUnknownTotal(t *testing.T) {
+	var buf bytes.Buffer
+	clock := time.Unix(0, 0)
+	p := NewProgress(&buf, "x", 0)
+	p.now = func() time.Time { return clock }
+	p.start = clock
+	clock = clock.Add(4 * time.Second)
+	p.Add(8)
+	out := buf.String()
+	if !strings.Contains(out, "x: 8 trials, 2.0 trials/s") {
+		t.Errorf("rate-only line = %q", out)
+	}
+	if strings.Contains(out, "ETA") {
+		t.Errorf("ETA shown without a total: %q", out)
+	}
+}

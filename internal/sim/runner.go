@@ -22,6 +22,17 @@ type Campaign struct {
 	Seed rng.Seed
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
+	// ObserverFactory, when non-nil, builds one Observer per worker
+	// goroutine (called once per worker with its index); every trial the
+	// worker runs streams events to that observer. Keeping observer
+	// state goroutine-local lets metrics shards aggregate without locks
+	// on the hot path (see internal/obs.Pool). Config.Observer must
+	// still be nil for campaigns.
+	ObserverFactory func(worker int) Observer
+	// TrialDone, when non-nil, is called once after every completed
+	// trial, from worker goroutines — it must be safe for concurrent
+	// use. Progress reporters hook in here.
+	TrialDone func(TrialResult)
 }
 
 // CampaignResult aggregates a campaign.
@@ -82,8 +93,13 @@ func (c Campaign) Run() (CampaignResult, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var obs Observer
+			if c.ObserverFactory != nil {
+				obs = c.ObserverFactory(w)
+			}
 			for i := w; i < c.Trials; i += workers {
 				cfg := c.Config
+				cfg.Observer = obs
 				if cfg.ControllerFactory != nil {
 					cfg.Controller = cfg.ControllerFactory()
 				}
@@ -93,6 +109,9 @@ func (c Campaign) Run() (CampaignResult, error) {
 					return
 				}
 				results[i] = r
+				if c.TrialDone != nil {
+					c.TrialDone(r)
+				}
 			}
 		}(w)
 	}

@@ -3,8 +3,11 @@ package sim
 import (
 	"math"
 	"math/rand/v2"
-	"repro/internal/dist"
+	"runtime"
+	"sync"
 	"testing"
+
+	"repro/internal/dist"
 
 	"repro/internal/markov"
 	"repro/internal/pattern"
@@ -637,5 +640,109 @@ func TestControllerSwitchCancelsPendingFlush(t *testing.T) {
 	}
 	if math.Abs(res.Breakdown.Total()-res.WallTime) > 1e-6 {
 		t.Fatal("accounting broken")
+	}
+}
+
+// countingObserver tallies events; one per worker via ObserverFactory.
+type countingObserver struct {
+	worker int
+	events int
+	trials int
+}
+
+func (o *countingObserver) Observe(e Event) {
+	o.events++
+	if e.Kind == EvComplete || e.Kind == EvCapped {
+		o.trials++
+	}
+}
+
+func TestCampaignObserverFactoryAndTrialDone(t *testing.T) {
+	sys := twoLevel(10, 100)
+	var mu sync.Mutex
+	var shards []*countingObserver
+	var doneTrials int
+	var wallSum float64
+	camp := Campaign{
+		Config: Config{System: sys, Plan: planBoth(2, 3)},
+		Trials: 40,
+		Seed:   seed("hooks"),
+		ObserverFactory: func(worker int) Observer {
+			o := &countingObserver{worker: worker}
+			mu.Lock()
+			shards = append(shards, o)
+			mu.Unlock()
+			return o
+		},
+		TrialDone: func(r TrialResult) {
+			mu.Lock()
+			doneTrials++
+			wallSum += r.WallTime
+			mu.Unlock()
+		},
+	}
+	res, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doneTrials != 40 {
+		t.Errorf("TrialDone fired %d times, want 40", doneTrials)
+	}
+	if math.Abs(wallSum-res.WallTime.Mean*40) > 1e-6*wallSum {
+		t.Errorf("TrialDone wall sum %v vs campaign mean*n %v", wallSum, res.WallTime.Mean*40)
+	}
+	total := 0
+	for _, s := range shards {
+		total += s.trials
+		if s.events == 0 {
+			t.Errorf("worker %d shard observed no events", s.worker)
+		}
+	}
+	if total != 40 {
+		t.Errorf("shards observed %d trial ends, want 40", total)
+	}
+	if len(shards) > runtime.GOMAXPROCS(0) {
+		t.Errorf("%d shards for %d max workers", len(shards), runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestCampaignFactoryDeterminism(t *testing.T) {
+	// Per-trial seeding means results must not depend on whether an
+	// observer factory is installed or how many workers run.
+	sys := twoLevel(10, 100)
+	base := Campaign{
+		Config: Config{System: sys, Plan: planBoth(2, 3)},
+		Trials: 30,
+		Seed:   seed("det"),
+	}
+	plain, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked := base
+	hooked.Workers = 2
+	hooked.ObserverFactory = func(int) Observer { return &countingObserver{} }
+	hooked.TrialDone = func(TrialResult) {}
+	withObs, err := hooked.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Efficiencies {
+		if plain.Efficiencies[i] != withObs.Efficiencies[i] {
+			t.Fatalf("trial %d efficiency changed with hooks: %v vs %v",
+				i, plain.Efficiencies[i], withObs.Efficiencies[i])
+		}
+	}
+}
+
+func TestCampaignRejectsDirectObserver(t *testing.T) {
+	sys := twoLevel(10, 100)
+	camp := Campaign{
+		Config: Config{System: sys, Plan: planBoth(2, 3), Observer: &countingObserver{}},
+		Trials: 2,
+		Seed:   seed("reject"),
+	}
+	if _, err := camp.Run(); err == nil {
+		t.Fatal("campaign accepted a shared per-config observer")
 	}
 }
