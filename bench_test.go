@@ -269,6 +269,51 @@ func BenchmarkMarkovPeriod(b *testing.B) {
 	}
 }
 
+// benchSweepMoody runs the full Moody brute-force sweep (τ0 grid ×
+// count vectors, exact Markov objective) on one Table I system — the
+// hottest path of every figure harness. See BENCH_opt.json for the
+// recorded before/after throughput.
+func benchSweepMoody(b *testing.B, sysName string) {
+	sys, err := system.ByName(sysName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tech := moody.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tech.Optimize(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepMoodyD7 is the BENCH_opt.json acceptance benchmark: the
+// Moody/Markov sweep on the failure-heavy two-level system D7.
+func BenchmarkSweepMoodyD7(b *testing.B) { benchSweepMoody(b, "D7") }
+
+// BenchmarkSweepMoodyB exercises the four-level system B, where the
+// count enumeration (and thus the period-shape memo) dominates.
+func BenchmarkSweepMoodyB(b *testing.B) { benchSweepMoody(b, "B") }
+
+// BenchmarkSweepDauweD7 measures the paper's own hierarchical model
+// under the same sweep machinery (closed-form objective, no Markov
+// chain) for comparison.
+func BenchmarkSweepDauweD7(b *testing.B) {
+	sys, err := system.ByName("D7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tech := dauwe.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tech.Optimize(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAdaptiveTrial measures one adaptive-controller trial.
 func BenchmarkAdaptiveTrial(b *testing.B) {
 	truth, err := system.ByName("D4")

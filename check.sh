@@ -3,6 +3,13 @@
 set -eu
 cd "$(dirname "$0")"
 
+echo "== gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 echo "== go vet ./..."
 go vet ./...
 echo "== go build ./..."

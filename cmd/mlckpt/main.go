@@ -60,7 +60,7 @@ func run(args []string, stdout io.Writer) error {
 	techs := fs.String("techniques", "dauwe,di,moody,benoit,daly", "comma-separated techniques")
 	trials := fs.Int("trials", 0, "also simulate each plan over this many trials")
 	seed := fs.Uint64("seed", 1, "simulation seed")
-	metricsPath := fs.String("metrics", "", "write a simulation telemetry snapshot (JSON) to this file")
+	metricsPath := fs.String("metrics", "", "write a telemetry snapshot (JSON) of the optimizer sweeps and simulations to this file")
 	progress := fs.Bool("progress", false, "report trials/sec and ETA on stderr")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
@@ -129,6 +129,13 @@ func run(args []string, stdout io.Writer) error {
 		tech, err := model.New(name)
 		if err != nil {
 			return err
+		}
+		if sink != nil {
+			// Techniques with an instrumented optimizer sweep share the
+			// simulation telemetry snapshot.
+			if m, ok := tech.(interface{ SetSweepMetrics(*obs.Registry) }); ok {
+				m.SetSweepMetrics(sink.Registry())
+			}
 		}
 		plan, pred, err := tech.Optimize(sys)
 		if err != nil {

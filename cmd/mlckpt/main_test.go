@@ -153,4 +153,13 @@ func TestMetricsSnapshot(t *testing.T) {
 	if len(snap.Histograms) == 0 {
 		t.Error("snapshot has no histograms")
 	}
+	// The dauwe optimizer sweep shares the snapshot.
+	if snap.Counter("opt_candidates_total") == 0 {
+		t.Error("snapshot has no optimizer sweep candidates")
+	}
+	if snap.Counter("opt_evaluations_total")+snap.Counter("opt_pruned_total") != snap.Counter("opt_candidates_total") {
+		t.Errorf("sweep accounting broken: evaluations %d + pruned %d != candidates %d",
+			snap.Counter("opt_evaluations_total"), snap.Counter("opt_pruned_total"),
+			snap.Counter("opt_candidates_total"))
+	}
 }

@@ -168,6 +168,13 @@ func evaluate(sys *system.System, techName string, trials int, seed rng.Seed, op
 	if err != nil {
 		return Cell{}, err
 	}
+	if opt.Metrics != nil {
+		// Techniques with an instrumented optimizer sweep feed the
+		// global telemetry sink alongside the simulator shards.
+		if m, ok := tech.(interface{ SetSweepMetrics(*obs.Registry) }); ok {
+			m.SetSweepMetrics(opt.Metrics.Registry())
+		}
+	}
 	plan, pred, err := tech.Optimize(sys)
 	if err != nil {
 		return Cell{}, fmt.Errorf("%s on %s: optimize: %w", techName, sys.Name, err)

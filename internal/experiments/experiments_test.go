@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/system"
 )
@@ -255,4 +256,20 @@ func mathAbs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+func TestEvaluateFeedsSweepMetrics(t *testing.T) {
+	sys, _ := system.ByName("D1")
+	sink := obs.NewSimMetrics()
+	opt := Options{Metrics: sink, MaxWallFactor: 15, Fast: true}
+	if _, err := evaluate(sys, "dauwe", 2, rng.Campaign(1, "x"), opt); err != nil {
+		t.Fatal(err)
+	}
+	snap := sink.Registry().Snapshot()
+	if snap.Counter("opt_candidates_total") == 0 {
+		t.Fatal("optimizer sweep telemetry missing from the global sink")
+	}
+	if snap.Counter("opt_evaluations_total")+snap.Counter("opt_pruned_total") != snap.Counter("opt_candidates_total") {
+		t.Fatal("sweep candidate accounting broken")
+	}
 }

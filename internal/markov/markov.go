@@ -126,11 +126,73 @@ func (c *Chain) validate() (float64, error) {
 	return total, nil
 }
 
+// Solver holds reusable scratch for chain evaluations. A zero Solver is
+// ready to use; passing the same Solver to many ExpectedPeriodTimeWith
+// calls makes the steady-state evaluation allocation-free and caches the
+// per-duration exponentials within each call (pattern periods repeat a
+// handful of distinct segment durations — τ0 and one checkpoint cost per
+// level — so the expensive exp/expm1 calls collapse from O(segments) to
+// O(distinct durations)). A Solver must not be shared between goroutines.
+type Solver struct {
+	prefix     []float64
+	posByLevel []int
+	last       []int
+	rec        []recovery
+	absorb     []float64 // backing array for the recovery absorb rows
+
+	// Per-call duration → (survival, truncated-expectation) cache.
+	durs, durQ, durPartial []float64
+}
+
+// expDurCacheMax bounds the duration cache's linear scan; chains with
+// more distinct durations fall back to direct computation.
+const expDurCacheMax = 16
+
+// expFor returns exp(-lambda·d) and TruncExp(d, lambda), serving repeats
+// from the cache. Values are bitwise identical to direct computation.
+func (s *Solver) expFor(d, lambda float64) (q, partial float64) {
+	for i, dv := range s.durs {
+		if dv == d {
+			return s.durQ[i], s.durPartial[i]
+		}
+	}
+	q = math.Exp(-lambda * d)
+	partial = dist.TruncExp(d, lambda)
+	if len(s.durs) < expDurCacheMax {
+		s.durs = append(s.durs, d)
+		s.durQ = append(s.durQ, q)
+		s.durPartial = append(s.durPartial, partial)
+	}
+	return q, partial
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
 // ExpectedPeriodTime returns the exact expected wall-clock duration of
 // one period, including all failure, rollback and recovery overhead. The
 // result is +Inf when the period cannot complete (a restart or segment
 // whose success probability underflows to zero).
 func (c *Chain) ExpectedPeriodTime() (float64, error) {
+	return c.ExpectedPeriodTimeWith(nil)
+}
+
+// ExpectedPeriodTimeWith is ExpectedPeriodTime evaluating into the
+// solver's scratch buffers (nil falls back to a private solver). Hot
+// loops — the brute-force interval sweep — keep one Solver per goroutine
+// and pay no allocation per chain.
+func (c *Chain) ExpectedPeriodTimeWith(s *Solver) (float64, error) {
 	lambda, err := c.validate()
 	if err != nil {
 		return 0, err
@@ -143,20 +205,28 @@ func (c *Chain) ExpectedPeriodTime() (float64, error) {
 		}
 		return t, nil
 	}
+	if s == nil {
+		s = &Solver{}
+	}
+	s.durs = s.durs[:0]
+	s.durQ = s.durQ[:0]
+	s.durPartial = s.durPartial[:0]
 
 	L := len(c.Rates)
-	rec, err := c.recoveries(lambda)
-	if err != nil {
-		return 0, err
-	}
+	rec := c.recoveriesInto(s, lambda)
 
 	// posByLevel[k*L + (u-1)] = resume segment index after a recovery
 	// from a level-u checkpoint when the failure struck segment k: the
 	// segment after the latest committed checkpoint of level >= u
 	// strictly before k, or 0 (period start).
 	n := len(c.Segments)
-	posByLevel := make([]int, n*L)
-	last := make([]int, L) // last[u-1] = resume position for level u so far
+	posByLevel := growInts(s.posByLevel, n*L)
+	s.posByLevel = posByLevel
+	last := growInts(s.last, L) // last[u-1] = resume position for level u so far
+	s.last = last
+	for u := range last {
+		last[u] = 0
+	}
 	for k := 0; k < n; k++ {
 		copy(posByLevel[k*L:(k+1)*L], last)
 		if s := c.Segments[k]; s.Kind == Checkpoint {
@@ -167,15 +237,16 @@ func (c *Chain) ExpectedPeriodTime() (float64, error) {
 	}
 
 	// Forward first-passage sweep.
-	prefix := make([]float64, n+1) // prefix[k] = Σ_{m<k} A_m
+	prefix := growFloats(s.prefix, n+1) // prefix[k] = Σ_{m<k} A_m
+	s.prefix = prefix
+	prefix[0] = 0
 	for k := 0; k < n; k++ {
 		d := c.Segments[k].Duration
-		q := math.Exp(-lambda * d)
+		q, partial := s.expFor(d, lambda)
 		if q == 0 {
 			return math.Inf(1), nil
 		}
 		pf := 1 - q
-		partial := dist.TruncExp(d, lambda)
 
 		acc := q*d + pf*partial
 		for s := 1; s <= L; s++ {
@@ -209,25 +280,25 @@ type recovery struct {
 	absorb []float64 // index u-1: P(recovery completes reading level u)
 }
 
-// recoveries solves the per-start-level recovery chains top-down. Levels
-// only move upward under both policies, so each level's equations depend
-// only on strictly higher levels plus a self-loop.
-func (c *Chain) recoveries(lambda float64) ([]recovery, error) {
+// recoveriesInto solves the per-start-level recovery chains top-down
+// into the solver's scratch. Levels only move upward under both
+// policies, so each level's equations depend only on strictly higher
+// levels plus a self-loop.
+func (c *Chain) recoveriesInto(s *Solver, lambda float64) []recovery {
 	L := len(c.Rates)
-	out := make([]recovery, L)
+	out := growRecoveries(s, L)
 	for u := L; u >= 1; u-- {
 		R := c.RestartTime[u-1]
 		var q, partial float64
 		if R > 0 {
-			q = math.Exp(-lambda * R)
-			partial = dist.TruncExp(R, lambda)
+			q, partial = s.expFor(R, lambda)
 		} else {
 			q = 1 // free restart always succeeds
 		}
 		pf := 1 - q
 
 		var pSelf, base float64
-		absorb := make([]float64, L)
+		absorb := out[u-1].absorb
 		base = q*R + pf*partial
 		absorb[u-1] = q
 		for s := 1; s <= L; s++ {
@@ -247,15 +318,33 @@ func (c *Chain) recoveries(lambda float64) ([]recovery, error) {
 		}
 		denom := 1 - pSelf
 		if denom <= 0 {
-			out[u-1] = recovery{time: math.Inf(1), absorb: absorb}
+			out[u-1].time = math.Inf(1)
 			continue
 		}
 		for v := range absorb {
 			absorb[v] /= denom
 		}
-		out[u-1] = recovery{time: base / denom, absorb: absorb}
+		out[u-1].time = base / denom
 	}
-	return out, nil
+	return out
+}
+
+// growRecoveries sizes the solver's recovery scratch to L levels with
+// zeroed absorb rows carved from one backing array.
+func growRecoveries(s *Solver, L int) []recovery {
+	if cap(s.rec) < L || cap(s.absorb) < L*L {
+		s.rec = make([]recovery, L)
+		s.absorb = make([]float64, L*L)
+	}
+	s.rec = s.rec[:L]
+	s.absorb = s.absorb[:L*L]
+	for i := range s.absorb {
+		s.absorb[i] = 0
+	}
+	for u := 0; u < L; u++ {
+		s.rec[u] = recovery{absorb: s.absorb[u*L : (u+1)*L]}
+	}
+	return s.rec
 }
 
 // nextLevel applies the policy: the restart level after a severity-s

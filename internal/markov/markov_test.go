@@ -355,10 +355,7 @@ func TestRecoveryAbsorptionSumsToOne(t *testing.T) {
 		RestartTime: []float64{0.5, 1, 4},
 		Policy:      Escalate,
 	}
-	recs, err := c.recoveries(0.17)
-	if err != nil {
-		t.Fatal(err)
-	}
+	recs := c.recoveriesInto(&Solver{}, 0.17)
 	for u, r := range recs {
 		var sum float64
 		for _, a := range r.absorb {

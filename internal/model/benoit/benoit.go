@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/pattern"
 	"repro/internal/system"
@@ -42,6 +43,10 @@ type Technique struct {
 	CountVals []int
 	// Workers bounds optimizer parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Metrics, when non-nil, receives the optimizer sweep's telemetry
+	// (candidates/evaluations/prunes). Not for use across concurrent
+	// Optimize calls.
+	Metrics *obs.Registry
 	// Analytic selects the closed-form optimizer (the default, matching
 	// [18]'s derivation): per-level optimum work distances
 	// W_l = sqrt(2·δ_l/λ_l), rounded onto the pattern lattice. When
@@ -181,6 +186,7 @@ func (t *Technique) Optimize(sys *system.System) (pattern.Plan, model.Prediction
 		LevelSets:  [][]int{pattern.AllLevels(sys)},
 		Workers:    t.Workers,
 		RefineTau0: true,
+		Metrics:    t.Metrics,
 	}
 	res, err := optimize.Sweep(space, func(p pattern.Plan) (float64, bool) {
 		expected, work, err := periodTime(sys, p)
@@ -196,5 +202,10 @@ func (t *Technique) Optimize(sys *system.System) (pattern.Plan, model.Prediction
 	// res.ExpectedTime is the normalized period time = 1/efficiency.
 	return res.Plan, model.NewPrediction(sys.BaselineTime, sys.BaselineTime*res.ExpectedTime), nil
 }
+
+// SetSweepMetrics directs the optimizer sweep's telemetry into reg
+// (nil disables collection). Implements the optional interface the CLIs
+// and experiment harness probe for.
+func (t *Technique) SetSweepMetrics(reg *obs.Registry) { t.Metrics = reg }
 
 var _ model.Technique = (*Technique)(nil)

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/pattern"
 	"repro/internal/system"
@@ -42,6 +43,10 @@ type Technique struct {
 	AllowLevelExclusion bool
 	// Workers bounds optimizer parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Metrics, when non-nil, receives the optimizer sweep's telemetry
+	// (candidates/evaluations/prunes). Not for use across concurrent
+	// Optimize calls.
+	Metrics *obs.Registry
 }
 
 // New returns the technique with the evaluation settings used in the
@@ -269,6 +274,7 @@ func (t *Technique) Optimize(sys *system.System) (pattern.Plan, model.Prediction
 		LevelSets:  sets,
 		Workers:    t.Workers,
 		RefineTau0: true,
+		Metrics:    t.Metrics,
 	}
 	res, err := optimize.Sweep(space, func(p pattern.Plan) (float64, bool) {
 		v, err := expectedTime(sys, p, nil)
@@ -279,5 +285,10 @@ func (t *Technique) Optimize(sys *system.System) (pattern.Plan, model.Prediction
 	}
 	return res.Plan, model.NewPrediction(sys.BaselineTime, res.ExpectedTime), nil
 }
+
+// SetSweepMetrics directs the optimizer sweep's telemetry into reg
+// (nil disables collection). Implements the optional interface the CLIs
+// and experiment harness probe for.
+func (t *Technique) SetSweepMetrics(reg *obs.Registry) { t.Metrics = reg }
 
 var _ model.Technique = (*Technique)(nil)

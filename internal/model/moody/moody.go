@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/markov"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/pattern"
 	"repro/internal/system"
@@ -47,7 +48,16 @@ type Technique struct {
 	MaxPeriodIntervals int
 	// Workers bounds optimizer parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Metrics, when non-nil, receives the optimizer sweep's telemetry
+	// (candidates/evaluations/prunes plus the period-shape memo's
+	// hit/miss counters). Not for use across concurrent Optimize calls.
+	Metrics *obs.Registry
 }
+
+// SetSweepMetrics directs the optimizer sweep's telemetry into reg
+// (nil disables collection). Implements the optional interface the CLIs
+// and experiment harness probe for.
+func (t *Technique) SetSweepMetrics(reg *obs.Registry) { t.Metrics = reg }
 
 // New returns the technique with reproduction settings.
 func New() *Technique {
@@ -125,7 +135,11 @@ func (*Technique) Predict(sys *system.System, plan pattern.Plan) (model.Predicti
 
 // Optimize brute-force-searches full-level patterns for the best period
 // efficiency, exactly as [5] describes ("a brute-force search of all
-// possible checkpoint intervals").
+// possible checkpoint intervals"). Each sweep worker evaluates the
+// Markov objective through a goroutine-local memo of period shapes and a
+// reusable chain solver (see newSweepObjective), and candidates whose
+// failure-free overhead alone already exceeds the best expected time are
+// pruned before the chain is ever solved.
 func (t *Technique) Optimize(sys *system.System) (pattern.Plan, model.Prediction, error) {
 	if err := sys.Validate(); err != nil {
 		return pattern.Plan{}, model.Prediction{}, err
@@ -137,19 +151,113 @@ func (t *Technique) Optimize(sys *system.System) (pattern.Plan, model.Prediction
 		MaxPeriodIntervals: t.MaxPeriodIntervals,
 		Workers:            t.Workers,
 		RefineTau0:         true,
+		LowerBound:         failureFreeBound(sys),
+		Metrics:            t.Metrics,
 	}
-	res, err := optimize.Sweep(space, func(p pattern.Plan) (float64, bool) {
-		eff, err := PeriodEfficiency(sys, p)
-		if err != nil || !(eff > 0) {
-			return 0, false
-		}
-		// Minimizing 1/efficiency maximizes efficiency.
-		return 1 / eff, true
+	res, err := optimize.SweepObjectives(space, func(_ int, reg *obs.Registry) optimize.Objective {
+		return newSweepObjective(sys, reg)
 	})
 	if err != nil {
 		return pattern.Plan{}, model.Prediction{}, err
 	}
 	return res.Plan, model.NewPrediction(sys.BaselineTime, sys.BaselineTime*res.ExpectedTime), nil
+}
+
+// failureFreeBound returns an admissible lower bound on the Markov
+// objective (1/efficiency): even with no failures at all, one period
+// costs its computation plus its checkpoint writes, so
+// 1/eff >= (work + overhead)/work. The tiny relative margin keeps the
+// bound admissible under floating-point rounding (pruning is strict, so
+// an admissible bound can never change the sweep result). Cheap — O(ℓ)
+// per candidate versus the O(period × levels) chain solve — and sharpest
+// exactly where that solve is most wasted: the tiny-τ0 candidates whose
+// overhead ratio is enormous.
+func failureFreeBound(sys *system.System) func(pattern.Plan) float64 {
+	return func(p pattern.Plan) float64 {
+		var overhead float64
+		suffix := 1 // Π_{j>i}(N_j+1): periods of level i per top-level period
+		for i := len(p.Levels) - 1; i >= 0; i-- {
+			ckpt := sys.Levels[p.Levels[i]-1].Checkpoint
+			if i == len(p.Levels)-1 {
+				overhead += ckpt // one top-level checkpoint per period
+			} else {
+				overhead += float64(p.Counts[i]*suffix) * ckpt
+				suffix *= p.Counts[i] + 1
+			}
+		}
+		work := p.Tau0 * float64(suffix) // suffix = intervals per period
+		if !(work > 0) {
+			return 0
+		}
+		return (work + overhead) / work * (1 - 1e-12)
+	}
+}
+
+// newSweepObjective builds a goroutine-local Markov objective for the
+// sweep: a reusable markov.Solver plus a memo of period shapes (the
+// per-interval checkpoint-level sequence, a pure function of the count
+// vector), so repeated count vectors across τ0 grid points pay the
+// pattern odometer once and the hot path allocates only on memo misses.
+// reg receives the memo's hit/miss counters.
+func newSweepObjective(sys *system.System, reg *obs.Registry) optimize.Objective {
+	L := sys.NumLevels()
+	chain := &markov.Chain{Policy: markov.Escalate}
+	for sev := 1; sev <= L; sev++ {
+		chain.Rates = append(chain.Rates, sys.LevelRate(sev))
+		chain.RestartTime = append(chain.RestartTime, sys.Levels[sev-1].Restart)
+	}
+	solver := &markov.Solver{}
+	shapes := map[string][]uint8{}
+	var key []byte
+	hits := reg.Counter("opt_moody_shape_memo_hits_total")
+	misses := reg.Counter("opt_moody_shape_memo_misses_total")
+	return func(p pattern.Plan) (float64, bool) {
+		if p.NumUsed() != L {
+			return 0, false
+		}
+		key = key[:0]
+		for _, c := range p.Counts {
+			key = append(key, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+		}
+		shape, ok := shapes[string(key)]
+		if ok {
+			hits.Inc()
+		} else {
+			misses.Inc()
+			n := p.PeriodIntervals()
+			shape = make([]uint8, n)
+			for k := 0; k < n; k++ {
+				shape[k] = uint8(p.Levels[p.LevelAfterInterval(k)])
+			}
+			shapes[string(key)] = shape
+		}
+		segs := chain.Segments[:0]
+		if cap(segs) < 2*len(shape) {
+			segs = make([]markov.Segment, 0, 2*len(shape))
+		}
+		for _, lvl := range shape {
+			segs = append(segs,
+				markov.Segment{Kind: markov.Compute, Duration: p.Tau0},
+				markov.Segment{Kind: markov.Checkpoint, Duration: sys.Levels[lvl-1].Checkpoint, Level: int(lvl)})
+		}
+		chain.Segments = segs
+		t, err := chain.ExpectedPeriodTimeWith(solver)
+		if err != nil || math.IsInf(t, 1) {
+			return 0, false
+		}
+		// Accumulate the work term exactly as Chain.Work does, so the
+		// objective is bitwise identical to 1/PeriodEfficiency.
+		var work float64
+		for range shape {
+			work += p.Tau0
+		}
+		eff := work / t
+		if !(eff > 0) {
+			return 0, false
+		}
+		// Minimizing 1/efficiency maximizes efficiency.
+		return 1 / eff, true
+	}
 }
 
 var _ model.Technique = (*Technique)(nil)

@@ -2,11 +2,13 @@ package moody
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/markov"
 	"repro/internal/model"
 	"repro/internal/model/dauwe"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/system"
 )
@@ -178,5 +180,119 @@ func TestOptimizeRejectsInvalidSystem(t *testing.T) {
 	bad.Levels[0].SeverityProb = 2
 	if _, _, err := New().Optimize(bad); err == nil {
 		t.Fatal("invalid system accepted")
+	}
+}
+
+// TestSweepObjectiveMatchesPeriodEfficiency checks the memoized
+// per-worker objective is bitwise identical to the straightforward
+// 1/PeriodEfficiency path it replaced.
+func TestSweepObjectiveMatchesPeriodEfficiency(t *testing.T) {
+	for _, sys := range system.TableI() {
+		reg := obs.NewRegistry()
+		obj := newSweepObjective(sys, reg)
+		levels := pattern.AllLevels(sys)
+		counts := func(vals ...int) []int { return vals[:len(levels)-1] }
+		plans := []pattern.Plan{
+			{Tau0: 5, Counts: counts(0, 0, 0), Levels: levels},
+			{Tau0: 30, Counts: counts(3, 1, 0), Levels: levels},
+			{Tau0: 120, Counts: counts(7, 3, 2), Levels: levels},
+			{Tau0: 30, Counts: counts(3, 1, 0), Levels: levels}, // memo hit
+		}
+		for _, p := range plans {
+			got, ok := obj(p)
+			eff, err := PeriodEfficiency(sys, p)
+			if err != nil || !(eff > 0) {
+				if ok {
+					t.Fatalf("%s %v: objective ok=true but PeriodEfficiency err=%v eff=%v", sys.Name, p, err, eff)
+				}
+				continue
+			}
+			if !ok || got != 1/eff {
+				t.Fatalf("%s %v: objective = %v ok=%v, want exactly %v", sys.Name, p, got, ok, 1/eff)
+			}
+		}
+		if reg.Snapshot().Counter("opt_moody_shape_memo_hits_total") == 0 {
+			t.Fatalf("%s: repeated count vector did not hit the shape memo", sys.Name)
+		}
+	}
+}
+
+// TestFailureFreeBoundAdmissible checks the pruning bound never exceeds
+// the true objective value, which is what makes pruning result-neutral.
+func TestFailureFreeBoundAdmissible(t *testing.T) {
+	for _, sys := range system.TableI() {
+		lb := failureFreeBound(sys)
+		reg := obs.NewRegistry()
+		obj := newSweepObjective(sys, reg)
+		levels := pattern.AllLevels(sys)
+		counts := func(vals ...int) []int { return vals[:len(levels)-1] }
+		for _, p := range []pattern.Plan{
+			{Tau0: 0.5, Counts: counts(0, 0, 0), Levels: levels},
+			{Tau0: 5, Counts: counts(4, 2, 1), Levels: levels},
+			{Tau0: 60, Counts: counts(1, 1, 1), Levels: levels},
+			{Tau0: 480, Counts: counts(9, 0, 4), Levels: levels},
+		} {
+			v, ok := obj(p)
+			if !ok {
+				continue
+			}
+			if b := lb(p); b > v {
+				t.Fatalf("%s %v: bound %v exceeds objective %v", sys.Name, p, b, v)
+			}
+		}
+	}
+}
+
+// TestOptimizeDeterministicAcrossWorkers checks the full moody optimizer
+// (memo + pruning + refinement) returns an identical plan and prediction
+// regardless of worker count.
+func TestOptimizeDeterministicAcrossWorkers(t *testing.T) {
+	sys := twoLevel(4)
+	var refPlan pattern.Plan
+	var refPred model.Prediction
+	for i, w := range []int{1, 4} {
+		tech := New()
+		tech.Tau0Points = 16
+		tech.Workers = w
+		plan, pred, err := tech.Optimize(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			refPlan, refPred = plan, pred
+			continue
+		}
+		if !reflect.DeepEqual(plan, refPlan) || pred != refPred {
+			t.Fatalf("workers=%d: plan %+v pred %+v differ from workers=1 %+v %+v",
+				w, plan, pred, refPlan, refPred)
+		}
+	}
+}
+
+// TestOptimizeSweepMetrics checks the sweep telemetry lands in the
+// registry installed via SetSweepMetrics, and that pruning plus
+// evaluations account for every candidate.
+func TestOptimizeSweepMetrics(t *testing.T) {
+	sys := twoLevel(4)
+	tech := New()
+	tech.Tau0Points = 16
+	reg := obs.NewRegistry()
+	tech.SetSweepMetrics(reg)
+	if _, _, err := tech.Optimize(sys); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("opt_candidates_total") == 0 {
+		t.Fatal("no candidates recorded")
+	}
+	if snap.Counter("opt_evaluations_total")+snap.Counter("opt_pruned_total") != snap.Counter("opt_candidates_total") {
+		t.Fatalf("evaluations %d + pruned %d != candidates %d",
+			snap.Counter("opt_evaluations_total"), snap.Counter("opt_pruned_total"), snap.Counter("opt_candidates_total"))
+	}
+	if snap.Counter("opt_moody_shape_memo_hits_total")+snap.Counter("opt_moody_shape_memo_misses_total") == 0 {
+		t.Fatal("shape memo never consulted")
+	}
+	if snap.Counter("opt_refine_evaluations_total") == 0 {
+		t.Fatal("refinement recorded no evaluations")
 	}
 }

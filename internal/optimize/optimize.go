@@ -4,22 +4,48 @@
 // subset of levels a plan uses), evaluated in parallel across worker
 // goroutines, with an optional golden-section refinement of τ0 around the
 // best grid point.
+//
+// The sweep is deterministic by construction: workers pull (τ0 ×
+// level-set) cells from a chunked atomic work queue (so load balances
+// dynamically — small-τ0 cells can cost far more under the Markov
+// objective), each keeps a running best under a total candidate order
+// (expected time, then τ0, then levels, then counts, lexicographically),
+// and the per-worker bests are reduced under the same order. The result
+// is therefore byte-identical for any worker count. The hot path is
+// allocation-free: count vectors are enumerated into per-worker scratch
+// buffers that are only copied when a candidate becomes a worker's new
+// best.
 package optimize
 
 import (
 	"errors"
 	"math"
 	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/system"
 )
 
 // Objective evaluates a candidate plan and returns its expected execution
 // time in minutes. ok=false rejects the candidate (invalid or out of the
-// model's domain). Objectives must be safe for concurrent use.
+// model's domain). The plan's Counts slice is a scratch buffer reused
+// between calls — an objective that retains it past the call must copy
+// it. Objectives passed to Sweep must be safe for concurrent use;
+// objectives built by an ObjectiveFactory are goroutine-local and need
+// not be.
 type Objective func(plan pattern.Plan) (expectedTime float64, ok bool)
+
+// ObjectiveFactory builds one Objective per worker goroutine (plus one
+// for the τ0 refinement stage). Factories let objectives keep
+// goroutine-local scratch — memo tables, reusable solvers — without
+// locks, mirroring the observer-shard idiom of sim.Campaign. metrics is
+// the worker's private telemetry shard (never nil; discarded unless
+// Space.Metrics is set), so objectives can count cache hits and misses.
+type ObjectiveFactory func(worker int, metrics *obs.Registry) Objective
 
 // Space bounds the brute-force sweep.
 type Space struct {
@@ -37,103 +63,86 @@ type Space struct {
 	// Workers is the sweep parallelism; 0 means GOMAXPROCS.
 	Workers int
 	// RefineTau0 enables golden-section refinement of τ0 around the
-	// best grid point, holding the level set and counts fixed.
+	// best grid point, holding the level set and counts fixed. The
+	// refinement bracket is clamped to the grid span, so refined τ0
+	// never escapes [Tau0[first], Tau0[last]].
 	RefineTau0 bool
+	// LowerBound, when non-nil, is an admissible lower bound on the
+	// objective: LowerBound(plan) must never exceed the objective's
+	// value for a feasible plan. Candidates whose bound strictly
+	// exceeds the best time found so far (shared across workers) are
+	// skipped without evaluating the objective. Because the skip is
+	// strict, pruning cannot change the sweep's result — only the
+	// number of objective calls (reported via Metrics, not Result).
+	LowerBound func(plan pattern.Plan) float64
+	// Metrics, when non-nil, receives the sweep's telemetry counters
+	// (opt_candidates_total, opt_evaluations_total, opt_pruned_total,
+	// opt_refine_evaluations_total, plus whatever the objectives
+	// record): workers count into private shards that are merged here
+	// once after the sweep. Sharing one sink across concurrent sweeps
+	// is not supported.
+	Metrics *obs.Registry
 }
 
 // Result is the outcome of a sweep.
 type Result struct {
 	Plan         pattern.Plan
 	ExpectedTime float64
-	Evaluated    int // number of objective evaluations
+	// Evaluated counts the candidates considered (those passing the
+	// static τ0 and period-length filters). It is a pure function of
+	// the Space — candidates served by an objective's memo or skipped
+	// by the lower-bound prune still count, so Result is identical for
+	// every worker count; the actual objective-call split is reported
+	// via Metrics.
+	Evaluated int
 }
 
 // ErrNoFeasiblePlan is returned when every candidate was rejected.
 var ErrNoFeasiblePlan = errors.New("optimize: no feasible plan in search space")
 
-// Sweep minimizes the objective over the space.
-func Sweep(space Space, objective Objective) (Result, error) {
-	if len(space.Tau0) == 0 || len(space.LevelSets) == 0 {
-		return Result{}, errors.New("optimize: empty search space")
+// planLess orders plans lexicographically on (τ0, levels, counts) — the
+// deterministic tie-break among candidates with equal expected times.
+func planLess(a, b pattern.Plan) bool {
+	if a.Tau0 != b.Tau0 {
+		return a.Tau0 < b.Tau0
 	}
-	workers := space.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if c := slices.Compare(a.Levels, b.Levels); c != 0 {
+		return c < 0
 	}
-	if workers > len(space.Tau0) {
-		workers = len(space.Tau0)
-	}
-
-	type best struct {
-		plan  pattern.Plan
-		time  float64
-		evals int
-		found bool
-	}
-	results := make([]best, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			b := best{time: math.Inf(1)}
-			for ti := w; ti < len(space.Tau0); ti += workers {
-				tau0 := space.Tau0[ti]
-				if !(tau0 > 0) {
-					continue
-				}
-				for _, levels := range space.LevelSets {
-					forEachCounts(len(levels)-1, space.CountVals, func(counts []int) {
-						intervals := 1
-						for _, c := range counts {
-							intervals *= c + 1
-						}
-						if space.MaxPeriodIntervals > 0 && intervals > space.MaxPeriodIntervals {
-							return
-						}
-						plan := pattern.Plan{
-							Tau0:   tau0,
-							Counts: append([]int(nil), counts...),
-							Levels: levels,
-						}
-						b.evals++
-						t, ok := objective(plan)
-						if ok && t < b.time && !math.IsNaN(t) {
-							b.time = t
-							b.plan = plan
-							b.found = true
-						}
-					})
-				}
-			}
-			results[w] = b
-		}(w)
-	}
-	wg.Wait()
-
-	out := Result{ExpectedTime: math.Inf(1)}
-	found := false
-	for _, b := range results {
-		out.Evaluated += b.evals
-		if b.found && b.time < out.ExpectedTime {
-			out.ExpectedTime = b.time
-			out.Plan = b.plan
-			found = true
-		}
-	}
-	if !found {
-		return Result{Evaluated: out.Evaluated}, ErrNoFeasiblePlan
-	}
-	if space.RefineTau0 {
-		refined, t := refineTau0(out.Plan, out.ExpectedTime, space.Tau0, objective)
-		out.Plan, out.ExpectedTime = refined, t
-	}
-	return out, nil
+	return slices.Compare(a.Counts, b.Counts) < 0
 }
 
-// forEachCounts enumerates all count vectors of the given length over the
-// candidate values. A zero-length vector yields one empty enumeration.
-func forEachCounts(n int, vals []int, fn func([]int)) {
+// atomicMin is a lock-free shared minimum over float64s, used as the
+// cross-worker pruning bound.
+type atomicMin struct {
+	bits atomic.Uint64
+}
+
+func (m *atomicMin) init(v float64) { m.bits.Store(math.Float64bits(v)) }
+
+func (m *atomicMin) load() float64 { return math.Float64frombits(m.bits.Load()) }
+
+func (m *atomicMin) lower(v float64) {
+	for {
+		old := m.bits.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if m.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// countScratch enumerates count vectors into reusable buffers.
+type countScratch struct {
+	counts, idx []int
+}
+
+// forEach enumerates all count vectors of length n over vals in odometer
+// order (last index fastest). A zero-length vector yields one empty
+// enumeration. The slice passed to fn is reused between calls.
+func (s *countScratch) forEach(n int, vals []int, fn func([]int)) {
 	if n <= 0 {
 		fn(nil)
 		return
@@ -141,8 +150,14 @@ func forEachCounts(n int, vals []int, fn func([]int)) {
 	if len(vals) == 0 {
 		return
 	}
-	counts := make([]int, n)
-	idx := make([]int, n)
+	if cap(s.counts) < n {
+		s.counts = make([]int, n)
+		s.idx = make([]int, n)
+	}
+	counts, idx := s.counts[:n], s.idx[:n]
+	for i := range idx {
+		idx[i] = 0
+	}
 	for {
 		for i := range counts {
 			counts[i] = vals[idx[i]]
@@ -163,12 +178,218 @@ func forEachCounts(n int, vals []int, fn func([]int)) {
 	}
 }
 
+// forEachCounts enumerates all count vectors of the given length over the
+// candidate values. A zero-length vector yields one empty enumeration.
+// The slice passed to fn is reused between calls.
+func forEachCounts(n int, vals []int, fn func([]int)) {
+	var s countScratch
+	s.forEach(n, vals, fn)
+}
+
+// sweepWorker is the per-goroutine sweep state: the worker's running
+// best under the total candidate order, its scratch buffers, and its
+// metrics shard. Everything here is touched by exactly one goroutine.
+type sweepWorker struct {
+	space   *Space
+	obj     Objective
+	scratch countScratch
+	bound   *atomicMin
+
+	// Current cell.
+	tau0   float64
+	levels []int
+
+	// Running best.
+	plan  pattern.Plan
+	time  float64
+	found bool
+
+	candidates int // deterministic: candidates considered
+
+	evals, pruned *obs.Counter
+}
+
+// candidate filters, optionally prunes, and evaluates one count vector
+// of the current cell. counts is scratch — copied only on improvement.
+func (w *sweepWorker) candidate(counts []int) {
+	if max := w.space.MaxPeriodIntervals; max > 0 {
+		intervals := 1
+		for _, c := range counts {
+			intervals *= c + 1
+		}
+		if intervals > max {
+			return
+		}
+	}
+	w.candidates++
+	plan := pattern.Plan{Tau0: w.tau0, Counts: counts, Levels: w.levels}
+	if lb := w.space.LowerBound; lb != nil {
+		// Strict comparison: a candidate tying the current best is
+		// still evaluated, so the (τ0, levels, counts) tie-break sees
+		// it and pruning cannot change the result.
+		if lb(plan) > w.bound.load() {
+			w.pruned.Inc()
+			return
+		}
+	}
+	w.evals.Inc()
+	t, ok := w.obj(plan)
+	if !ok || math.IsNaN(t) {
+		return
+	}
+	if t > w.time || math.IsInf(t, 1) {
+		return
+	}
+	if t == w.time && (!w.found || !planLess(plan, w.plan)) {
+		return
+	}
+	w.time = t
+	w.found = true
+	w.plan = pattern.Plan{
+		Tau0:   plan.Tau0,
+		Counts: append(w.plan.Counts[:0], counts...),
+		Levels: plan.Levels,
+	}
+	w.bound.lower(t)
+}
+
+// Sweep minimizes the objective over the space. The objective must be
+// safe for concurrent use; use SweepObjectives to give each worker its
+// own.
+func Sweep(space Space, objective Objective) (Result, error) {
+	return SweepObjectives(space, func(int, *obs.Registry) Objective { return objective })
+}
+
+// SweepObjectives minimizes over the space with one objective per worker
+// goroutine, built by the factory. The result is independent of
+// Space.Workers: cells are scheduled dynamically, but candidates are
+// reduced under a total order (expected time, then τ0, then levels, then
+// counts).
+func SweepObjectives(space Space, factory ObjectiveFactory) (Result, error) {
+	if len(space.Tau0) == 0 || len(space.LevelSets) == 0 {
+		return Result{}, errors.New("optimize: empty search space")
+	}
+	cells := len(space.Tau0) * len(space.LevelSets)
+	workers := space.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cells {
+		workers = cells
+	}
+	// Chunked atomic work queue: each grab takes `chunk` consecutive
+	// cells. Cells are expensive (a full count enumeration each), so
+	// small chunks give the best balance; chunks only grow when the
+	// cell count dwarfs the worker count.
+	chunk := cells / (workers * 16)
+	if chunk < 1 {
+		chunk = 1
+	}
+
+	var next atomic.Int64
+	var bound atomicMin
+	bound.init(math.Inf(1))
+
+	ws := make([]*sweepWorker, workers)
+	regs := make([]*obs.Registry, workers+1) // last shard: refinement
+	for i := range regs {
+		regs[i] = obs.NewRegistry()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			reg := regs[w]
+			sw := &sweepWorker{
+				space:  &space,
+				obj:    factory(w, reg),
+				bound:  &bound,
+				time:   math.Inf(1),
+				evals:  reg.Counter("opt_evaluations_total"),
+				pruned: reg.Counter("opt_pruned_total"),
+			}
+			ws[w] = sw
+			process := sw.candidate
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= cells {
+					break
+				}
+				end := start + chunk
+				if end > cells {
+					end = cells
+				}
+				for c := start; c < end; c++ {
+					// τ0-major order puts the expensive small-τ0
+					// cells at the front of the queue.
+					tau0 := space.Tau0[c/len(space.LevelSets)]
+					if !(tau0 > 0) {
+						continue
+					}
+					sw.tau0 = tau0
+					sw.levels = space.LevelSets[c%len(space.LevelSets)]
+					sw.scratch.forEach(len(sw.levels)-1, space.CountVals, process)
+				}
+			}
+			reg.Counter("opt_candidates_total").Add(uint64(sw.candidates))
+		}(w)
+	}
+	wg.Wait()
+
+	out := Result{ExpectedTime: math.Inf(1)}
+	found := false
+	for _, sw := range ws {
+		out.Evaluated += sw.candidates
+		if !sw.found {
+			continue
+		}
+		if !found || sw.time < out.ExpectedTime ||
+			(sw.time == out.ExpectedTime && planLess(sw.plan, out.Plan)) {
+			out.ExpectedTime = sw.time
+			out.Plan = sw.plan
+			found = true
+		}
+	}
+	if !found {
+		if err := mergeMetrics(space.Metrics, regs); err != nil {
+			return Result{}, err
+		}
+		return Result{Evaluated: out.Evaluated}, ErrNoFeasiblePlan
+	}
+	if space.RefineTau0 {
+		reg := regs[workers]
+		refined, t := refineTau0(out.Plan, out.ExpectedTime, space.Tau0,
+			factory(workers, reg), reg.Counter("opt_refine_evaluations_total"))
+		out.Plan, out.ExpectedTime = refined, t
+	}
+	if err := mergeMetrics(space.Metrics, regs); err != nil {
+		return Result{}, err
+	}
+	return out, nil
+}
+
+// mergeMetrics folds the per-worker shards into the sink, if any.
+func mergeMetrics(sink *obs.Registry, regs []*obs.Registry) error {
+	if sink == nil {
+		return nil
+	}
+	for _, reg := range regs {
+		if err := sink.Merge(reg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // refineTau0 golden-section-searches τ0 between the grid neighbors of the
-// best point, keeping levels and counts fixed. Falls back to the grid
-// optimum if refinement finds nothing better.
-func refineTau0(p pattern.Plan, bestT float64, grid []float64, objective Objective) (pattern.Plan, float64) {
+// best point, keeping levels and counts fixed. The bracket is clamped to
+// the grid span. Falls back to the grid optimum if refinement finds
+// nothing better.
+func refineTau0(p pattern.Plan, bestT float64, grid []float64, objective Objective, evals *obs.Counter) (pattern.Plan, float64) {
 	lo, hi := neighbors(grid, p.Tau0)
 	eval := func(tau float64) float64 {
+		evals.Inc()
 		q := p
 		q.Tau0 = tau
 		t, ok := objective(q)
@@ -202,15 +423,18 @@ func refineTau0(p pattern.Plan, bestT float64, grid []float64, objective Objecti
 	return p, bestT
 }
 
-// neighbors returns the grid values bracketing x (or x itself scaled when
-// x sits at an end of the grid).
+// neighbors returns the grid values bracketing x, clamped to the grid
+// span: when x is the smallest (largest) grid value the bracket starts
+// (ends) at x itself, so refinement can never probe τ0 outside the
+// domain the grid was built for (e.g. beyond the system's baseline
+// time).
 func neighbors(grid []float64, x float64) (lo, hi float64) {
-	lo, hi = x/2, x*2
+	lo, hi = x, x
 	for _, g := range grid {
-		if g < x && g > lo {
+		if g < x && (lo == x || g > lo) {
 			lo = g
 		}
-		if g > x && g < hi {
+		if g > x && (hi == x || g < hi) {
 			hi = g
 		}
 	}

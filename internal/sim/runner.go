@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -88,6 +89,10 @@ func (c Campaign) Run() (CampaignResult, error) {
 
 	results := make([]TrialResult, c.Trials)
 	errs := make([]error, workers)
+	// A failed trial poisons the whole campaign, so the first error
+	// cancels the remaining trials on every worker instead of letting
+	// them burn through the full campaign before Run can report it.
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -98,6 +103,9 @@ func (c Campaign) Run() (CampaignResult, error) {
 				obs = c.ObserverFactory(w)
 			}
 			for i := w; i < c.Trials; i += workers {
+				if failed.Load() {
+					return
+				}
 				cfg := c.Config
 				cfg.Observer = obs
 				if cfg.ControllerFactory != nil {
@@ -106,6 +114,7 @@ func (c Campaign) Run() (CampaignResult, error) {
 				r, err := RunTrial(cfg, c.Seed.Trial(i).Rand())
 				if err != nil {
 					errs[w] = fmt.Errorf("trial %d: %w", i, err)
+					failed.Store(true)
 					return
 				}
 				results[i] = r

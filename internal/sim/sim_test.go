@@ -4,7 +4,9 @@ import (
 	"math"
 	"math/rand/v2"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/dist"
@@ -744,5 +746,49 @@ func TestCampaignRejectsDirectObserver(t *testing.T) {
 	}
 	if _, err := camp.Run(); err == nil {
 		t.Fatal("campaign accepted a shared per-config observer")
+	}
+}
+
+// failingController returns an invalid plan at the first replan
+// opportunity, which aborts its trial with an error.
+type failingController struct{}
+
+func (failingController) OnFailure(float64, int) {}
+func (failingController) Replan(float64, float64) (pattern.Plan, bool) {
+	return pattern.Plan{Tau0: -1}, true
+}
+
+func TestCampaignFailFast(t *testing.T) {
+	// Only the first trial's controller is poisoned; every other trial
+	// would succeed. The first error must cancel the remaining trials
+	// rather than let the campaign run to completion before reporting.
+	sys := twoLevel(1e15, 100)
+	var made atomic.Int64
+	var done atomic.Int64
+	camp := Campaign{
+		Config: Config{
+			System: sys,
+			Plan:   planBoth(10, 1),
+			ControllerFactory: func() PlanController {
+				if made.Add(1) == 1 {
+					return failingController{}
+				}
+				return nil
+			},
+		},
+		Trials:    20000,
+		Workers:   4,
+		Seed:      seed("failfast"),
+		TrialDone: func(TrialResult) { done.Add(1) },
+	}
+	_, err := camp.Run()
+	if err == nil {
+		t.Fatal("campaign with failing controller returned no error")
+	}
+	if !strings.Contains(err.Error(), "invalid plan") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if n := done.Load(); n >= int64(camp.Trials)-1 {
+		t.Fatalf("fail-fast did not cancel: %d of %d trials still ran", n, camp.Trials)
 	}
 }
