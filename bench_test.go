@@ -148,14 +148,18 @@ func BenchmarkSimTrial(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := sim.Config{
+	eng, err := sim.NewEngine(sim.Scenario{
 		System: sys,
 		Plan:   pattern.Plan{Tau0: 1.3, Counts: []int{3}, Levels: []int{1, 2}},
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
 	seed := rng.Campaign(1, "bench-sim")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.RunTrial(cfg, seed.Trial(i).Rand()); err != nil {
+		if _, err := eng.Run(seed.Trial(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -171,15 +175,19 @@ func BenchmarkSimTrialObserved(b *testing.B) {
 		b.Fatal(err)
 	}
 	m := obs.NewSimMetrics()
-	cfg := sim.Config{
-		System:   sys,
-		Plan:     pattern.Plan{Tau0: 1.3, Counts: []int{3}, Levels: []int{1, 2}},
-		Observer: m,
+	eng, err := sim.NewEngine(sim.Scenario{
+		System: sys,
+		Plan:   pattern.Plan{Tau0: 1.3, Counts: []int{3}, Levels: []int{1, 2}},
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
+	eng.Observe(m)
 	seed := rng.Campaign(1, "bench-sim")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.RunTrial(cfg, seed.Trial(i).Rand()); err != nil {
+		if _, err := eng.Run(seed.Trial(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -336,11 +344,42 @@ func BenchmarkAdaptiveTrial(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	eng, err := sim.NewEngine(sim.Scenario{System: truth, Plan: plan})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Control(ctrlFactory)
 	seed := rng.Campaign(1, "bench-adaptive")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cfg := sim.Config{System: truth, Plan: plan, Controller: ctrlFactory()}
-		if _, err := sim.RunTrial(cfg, seed.Trial(i).Rand()); err != nil {
+		if _, err := eng.Run(seed.Trial(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignD7 is the BENCH_sim.json acceptance benchmark: one
+// full 200-trial campaign on the failure-heavy two-level system D7,
+// exactly the shape the paper's figure harnesses run hundreds of times.
+// Allocations are dominated by campaign bookkeeping now that worker
+// engines recycle all per-trial state.
+func BenchmarkCampaignD7(b *testing.B) {
+	sys, err := system.ByName("D7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	camp := sim.Campaign{
+		Scenario: sim.Scenario{
+			System: sys,
+			Plan:   pattern.Plan{Tau0: 1.3, Counts: []int{3}, Levels: []int{1, 2}},
+		},
+		Trials: 200,
+		Seed:   rng.Campaign(1, "bench-campaign").Scenario("D7"),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := camp.Run(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,5 +1,10 @@
 #!/bin/sh
-# Repository check: vet, build, and race-enabled tests.
+# Repository check: format, vet, build, tests, and a race-enabled shard
+# of the concurrency-heavy packages.
+#
+#   ./check.sh          full check
+#   ./check.sh bench    additionally run the sim benchmarks and write
+#                       BENCH_sim.json
 set -eu
 cd "$(dirname "$0")"
 
@@ -14,6 +19,19 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go build ./..."
 go build ./...
-echo "== go test -race ./..."
-go test -race ./...
+echo "== go test ./..."
+go test ./...
+# The sim campaign runner, optimizer sweep, and observer pool are the
+# packages that share state across goroutines; run them (plus the repo
+# root, whose integration test drives them together) under the race
+# detector.
+echo "== go test -race (sim/optimize/obs/eventq shard)"
+go test -race ./internal/sim/ ./internal/optimize/ ./internal/obs/ ./internal/eventq/ .
+
+if [ "${1:-}" = "bench" ]; then
+    echo "== go test -bench (sim engine, writes bench_sim.txt)"
+    go test -run XXX -bench 'BenchmarkSimTrial$|BenchmarkSimTrialObserved|BenchmarkCampaignD7' \
+        -benchmem -benchtime 2s . | tee bench_sim.txt
+    echo "bench_sim.txt written; record results in BENCH_sim.json"
+fi
 echo "OK"

@@ -58,6 +58,7 @@ func run(args []string, stdout io.Writer) error {
 	scaleMTBF := fs.Float64("scale-mtbf", 0, "override MTBF of the chosen system")
 	scalePFS := fs.Float64("scale-pfs", 0, "override level-L checkpoint/restart time")
 	techs := fs.String("techniques", "dauwe,di,moody,benoit,daly", "comma-separated techniques")
+	list := fs.Bool("list", false, "list registered techniques with their citations and exit")
 	trials := fs.Int("trials", 0, "also simulate each plan over this many trials")
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	metricsPath := fs.String("metrics", "", "write a telemetry snapshot (JSON) of the optimizer sweeps and simulations to this file")
@@ -66,6 +67,9 @@ func run(args []string, stdout io.Writer) error {
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		return listTechniques(stdout)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -124,9 +128,13 @@ func run(args []string, stdout io.Writer) error {
 		defer prog.Finish()
 	}
 
-	tab := report.NewTable("technique", "plan", "predicted eff", "sim eff (mean±σ)")
+	tab := report.NewTable("technique", "levels", "plan", "predicted eff", "sim eff (mean±σ)")
 	for _, name := range techNames {
 		tech, err := model.New(name)
+		if err != nil {
+			return err
+		}
+		info, err := model.Describe(name)
 		if err != nil {
 			return err
 		}
@@ -144,9 +152,9 @@ func run(args []string, stdout io.Writer) error {
 		simCol := ""
 		if *trials > 0 {
 			camp := sim.Campaign{
-				Config: sim.Config{System: sys, Plan: plan},
-				Trials: *trials,
-				Seed:   rng.Campaign(*seed, "mlckpt").Scenario(sys.Name + "/" + name),
+				Scenario: sim.Scenario{System: sys, Plan: plan},
+				Trials:   *trials,
+				Seed:     rng.Campaign(*seed, "mlckpt").Scenario(sys.Name + "/" + name),
 			}
 			var pool *obs.Pool
 			if sink != nil {
@@ -171,7 +179,7 @@ func run(args []string, stdout io.Writer) error {
 			}
 			simCol = fmt.Sprintf("%.3f±%.3f", res.Efficiency.Mean, res.Efficiency.Std)
 		}
-		tab.AddRow(name, plan.String(), fmt.Sprintf("%.3f", pred.Efficiency), simCol)
+		tab.AddRow(name, levelsLabel(info), plan.String(), fmt.Sprintf("%.3f", pred.Efficiency), simCol)
 	}
 	if err := tab.Render(stdout); err != nil {
 		return err
@@ -201,6 +209,23 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// listTechniques renders the registry metadata — no hard-coded
+// technique knowledge; everything comes from model.Infos.
+func listTechniques(w io.Writer) error {
+	tab := report.NewTable("technique", "levels", "summary", "citation")
+	for _, info := range model.Infos() {
+		tab.AddRow(info.Name, levelsLabel(info), info.Summary, info.Citation)
+	}
+	return tab.Render(w)
+}
+
+func levelsLabel(info model.Info) string {
+	if info.MaxLevels == 0 {
+		return "any"
+	}
+	return fmt.Sprintf("≤%d", info.MaxLevels)
 }
 
 func buildSystem(name, config string, mtbf, tb float64, probs, times string) (*system.System, error) {

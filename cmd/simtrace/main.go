@@ -87,8 +87,12 @@ func run(args []string, stdout io.Writer) error {
 
 	rec := &trace.Recorder{}
 	metrics := obs.NewSimMetrics()
-	cfg := sim.Config{System: sys, Plan: plan, Observer: obs.Multi(rec, metrics)}
-	res, err := sim.RunTrial(cfg, rng.Campaign(*seed, "simtrace").Trial(0).Rand())
+	eng, err := sim.NewEngine(sim.Scenario{System: sys, Plan: plan})
+	if err != nil {
+		return err
+	}
+	eng.Observe(obs.Multi(rec, metrics))
+	res, err := eng.Run(rng.Campaign(*seed, "simtrace").Trial(0))
 	if err != nil {
 		return err
 	}

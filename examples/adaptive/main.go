@@ -46,9 +46,12 @@ func main() {
 	}
 
 	seed := rng.Campaign(31, "adaptive-example")
-	run := func(label string, cfg sim.Config) {
-		cfg.System = truth
-		res, err := sim.Campaign{Config: cfg, Trials: 120, Seed: seed.Scenario(label)}.Run()
+	run := func(label string, scn sim.Scenario, ctl func() sim.PlanController) {
+		scn.System = truth
+		res, err := sim.Campaign{
+			Scenario: scn, Trials: 120, Seed: seed.Scenario(label),
+			ControllerFactory: ctl,
+		}.Run()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,18 +62,15 @@ func main() {
 		truth, belief.MTBF)
 	fmt.Printf("static plan (for belief): %s\noracle plan (for truth):  %s\n\n",
 		staticPlan, oraclePlan)
-	run("static", sim.Config{Plan: staticPlan})
-	run("adaptive", sim.Config{
-		Plan: staticPlan,
-		ControllerFactory: func() sim.PlanController {
-			c, err := adaptive.NewController(belief, adaptive.Options{ReplanEvery: 12})
-			if err != nil {
-				log.Fatal(err)
-			}
-			return c
-		},
+	run("static", sim.Scenario{Plan: staticPlan}, nil)
+	run("adaptive", sim.Scenario{Plan: staticPlan}, func() sim.PlanController {
+		c, err := adaptive.NewController(belief, adaptive.Options{ReplanEvery: 12})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
 	})
-	run("oracle", sim.Config{Plan: oraclePlan})
+	run("oracle", sim.Scenario{Plan: oraclePlan}, nil)
 
 	fmt.Println("\nThe controller watches failures arrive 4× faster than believed,")
 	fmt.Println("re-estimates the per-severity rates, and re-optimizes the remaining run")

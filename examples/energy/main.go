@@ -35,9 +35,9 @@ func main() {
 	seed := rng.Campaign(13, "energy-example")
 	simulate := func(label string, r energy.Result) {
 		res, err := sim.Campaign{
-			Config: sim.Config{System: sys, Plan: r.Plan},
-			Trials: 120,
-			Seed:   seed.Scenario(label),
+			Scenario: sim.Scenario{System: sys, Plan: r.Plan},
+			Trials:   120,
+			Seed:     seed.Scenario(label),
 		}.Run()
 		if err != nil {
 			log.Fatal(err)

@@ -43,9 +43,9 @@ func main() {
 				log.Fatal(err)
 			}
 			res, err := sim.Campaign{
-				Config: sim.Config{System: sys, Plan: plan, MaxWallFactor: 120},
-				Trials: 60,
-				Seed:   seed.Scenario(sys.Name),
+				Scenario: sim.Scenario{System: sys, Plan: plan, MaxWallFactor: 120},
+				Trials:   60,
+				Seed:     seed.Scenario(sys.Name),
 			}.Run()
 			if err != nil {
 				log.Fatal(err)

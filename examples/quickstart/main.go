@@ -47,9 +47,9 @@ func main() {
 
 	// Validate against the simulator: 200 randomized trials.
 	camp := sim.Campaign{
-		Config: sim.Config{System: sys, Plan: plan},
-		Trials: 200,
-		Seed:   rng.Campaign(42, "quickstart").Scenario(sys.Name),
+		Scenario: sim.Scenario{System: sys, Plan: plan},
+		Trials:   200,
+		Seed:     rng.Campaign(42, "quickstart").Scenario(sys.Name),
 	}
 	res, err := camp.Run()
 	if err != nil {

@@ -59,9 +59,9 @@ func main() {
 				log.Fatal(err)
 			}
 			res, err := sim.Campaign{
-				Config: sim.Config{System: sys, Plan: plan, MaxWallFactor: 100},
-				Trials: 60,
-				Seed:   seed.Scenario(fmt.Sprintf("%d/%s", nodes, techName)),
+				Scenario: sim.Scenario{System: sys, Plan: plan, MaxWallFactor: 100},
+				Trials:   60,
+				Seed:     seed.Scenario(fmt.Sprintf("%d/%s", nodes, techName)),
 			}.Run()
 			if err != nil {
 				log.Fatal(err)

@@ -43,9 +43,9 @@ func main() {
 			log.Fatal(err)
 		}
 		res, err := sim.Campaign{
-			Config: sim.Config{System: sys, Plan: plan, MaxWallFactor: 120},
-			Trials: 400,
-			Seed:   seed.Scenario(name),
+			Scenario: sim.Scenario{System: sys, Plan: plan, MaxWallFactor: 120},
+			Trials:   400,
+			Seed:     seed.Scenario(name),
 		}.Run()
 		if err != nil {
 			log.Fatal(err)

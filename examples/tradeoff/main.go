@@ -32,7 +32,7 @@ func main() {
 	seed := rng.Campaign(3, "tradeoff-example")
 
 	// Record one failure history while running the optimized plan.
-	base := sim.Config{System: sys, Plan: plan}
+	base := sim.Scenario{System: sys, Plan: plan}
 	res, replays, err := trace.RecordFailures(base, seed.Trial(0).Rand())
 	if err != nil {
 		log.Fatal(err)

@@ -52,9 +52,9 @@ func TestCrossTechniqueInvariantsOnTableI(t *testing.T) {
 				}
 				// Invariant: the plan actually executes.
 				res, err := sim.Campaign{
-					Config: sim.Config{System: sys, Plan: plan, MaxWallFactor: 50},
-					Trials: trials,
-					Seed:   seed.Scenario(sys.Name + "/" + name),
+					Scenario: sim.Scenario{System: sys, Plan: plan, MaxWallFactor: 50},
+					Trials:   trials,
+					Seed:     seed.Scenario(sys.Name + "/" + name),
 				}.Run()
 				if err != nil {
 					t.Fatalf("%s: simulate: %v", name, err)

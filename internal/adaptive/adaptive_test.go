@@ -89,12 +89,12 @@ func TestControllerReplansAndValidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := sim.Config{
-		System:     truth(),
-		Plan:       plan,
-		Controller: ctrl,
+	eng, err := sim.NewEngine(sim.Scenario{System: truth(), Plan: plan})
+	if err != nil {
+		t.Fatal(err)
 	}
-	res, err := sim.RunTrial(cfg, rng.Campaign(1, "adaptive").Trial(0).Rand())
+	eng.Control(func() sim.PlanController { return ctrl })
+	res, err := eng.Run(rng.Campaign(1, "adaptive").Trial(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,27 +131,27 @@ func TestAdaptiveBeatsMiscalibratedStatic(t *testing.T) {
 		t.Fatal(err)
 	}
 	seed := rng.Campaign(2, "adaptive-cmp")
-	run := func(name string, cfg sim.Config) float64 {
-		camp := sim.Campaign{Config: cfg, Trials: 60, Seed: seed.Scenario(name)}
+	run := func(name string, scn sim.Scenario, ctl func() sim.PlanController) float64 {
+		camp := sim.Campaign{
+			Scenario: scn, Trials: 60, Seed: seed.Scenario(name),
+			ControllerFactory: ctl,
+		}
 		res, err := camp.Run()
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res.Efficiency.Mean
 	}
-	effStatic := run("static", sim.Config{System: tr, Plan: staticPlan})
-	effOracle := run("oracle", sim.Config{System: tr, Plan: oraclePlan})
-	effAdaptive := run("adaptive", sim.Config{
-		System: tr,
-		Plan:   staticPlan,
-		ControllerFactory: func() sim.PlanController {
+	effStatic := run("static", sim.Scenario{System: tr, Plan: staticPlan}, nil)
+	effOracle := run("oracle", sim.Scenario{System: tr, Plan: oraclePlan}, nil)
+	effAdaptive := run("adaptive", sim.Scenario{System: tr, Plan: staticPlan},
+		func() sim.PlanController {
 			c, err := NewController(belief(), Options{ReplanEvery: 12})
 			if err != nil {
 				t.Fatal(err)
 			}
 			return c
-		},
-	})
+		})
 	if !(effOracle > effStatic) {
 		t.Fatalf("oracle %v should beat miscalibrated static %v", effOracle, effStatic)
 	}
@@ -175,17 +175,5 @@ func TestControllerOptionsDefaults(t *testing.T) {
 	}
 	if _, err := NewController(nil, Options{}); err == nil {
 		t.Fatal("nil system accepted")
-	}
-}
-
-func TestCampaignRejectsSharedController(t *testing.T) {
-	ctrl, _ := NewController(belief(), Options{})
-	plan, _ := ctrl.InitialPlan()
-	camp := sim.Campaign{
-		Config: sim.Config{System: truth(), Plan: plan, Controller: ctrl},
-		Trials: 2,
-	}
-	if _, err := camp.Run(); err == nil {
-		t.Fatal("campaign accepted a shared stateful controller")
 	}
 }

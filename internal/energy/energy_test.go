@@ -138,8 +138,8 @@ func TestEnergyAgainstSimulation(t *testing.T) {
 		t.Fatal(err)
 	}
 	camp := sim.Campaign{
-		Config: sim.Config{System: sys2(), Plan: tr.TimeOptimal.Plan},
-		Trials: 100,
+		Scenario: sim.Scenario{System: sys2(), Plan: tr.TimeOptimal.Plan},
+		Trials:   100,
 	}
 	res, err := camp.Run()
 	if err != nil {

@@ -23,7 +23,7 @@ func drain(t *testing.T, q *Queue) []float64 {
 func TestPopOrder(t *testing.T) {
 	var q Queue
 	for _, tm := range []float64{5, 1, 4, 2, 3} {
-		q.Schedule(tm, 0, nil)
+		q.Schedule(tm, 0, 0)
 	}
 	got := drain(t, &q)
 	for i := 1; i < len(got); i++ {
@@ -46,7 +46,7 @@ func TestEmptyPop(t *testing.T) {
 func TestFIFOTieBreak(t *testing.T) {
 	var q Queue
 	for i := 0; i < 10; i++ {
-		q.Schedule(7.5, i, nil)
+		q.Schedule(7.5, i, 0)
 	}
 	for i := 0; i < 10; i++ {
 		ev, err := q.Pop()
@@ -61,9 +61,9 @@ func TestFIFOTieBreak(t *testing.T) {
 
 func TestCancel(t *testing.T) {
 	var q Queue
-	q.Schedule(1, 1, nil)
-	h := q.Schedule(2, 2, nil)
-	q.Schedule(3, 3, nil)
+	q.Schedule(1, 1, 0)
+	h := q.Schedule(2, 2, 0)
+	q.Schedule(3, 3, 0)
 	if !q.Cancel(h) {
 		t.Fatal("Cancel returned false for pending event")
 	}
@@ -78,8 +78,8 @@ func TestCancel(t *testing.T) {
 
 func TestCancelHead(t *testing.T) {
 	var q Queue
-	h := q.Schedule(1, 0, nil)
-	q.Schedule(2, 0, nil)
+	h := q.Schedule(1, 0, 0)
+	q.Schedule(2, 0, 0)
 	if !q.Cancel(h) {
 		t.Fatal("cancel head failed")
 	}
@@ -91,7 +91,7 @@ func TestCancelHead(t *testing.T) {
 
 func TestCancelPoppedEvent(t *testing.T) {
 	var q Queue
-	h := q.Schedule(1, 0, nil)
+	h := q.Schedule(1, 0, 0)
 	if _, err := q.Pop(); err != nil {
 		t.Fatal(err)
 	}
@@ -103,10 +103,27 @@ func TestCancelPoppedEvent(t *testing.T) {
 	}
 }
 
+func TestStaleHandleAfterSlotReuse(t *testing.T) {
+	// A handle to a popped event must stay dead even after its arena
+	// slot is reused by a new event.
+	var q Queue
+	h := q.Schedule(1, 0, 0)
+	if _, err := q.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	h2 := q.Schedule(2, 0, 0) // reuses the freed slot
+	if q.Cancel(h) {
+		t.Fatal("stale handle cancelled a reused slot")
+	}
+	if !q.Cancel(h2) {
+		t.Fatal("fresh handle on reused slot failed to cancel")
+	}
+}
+
 func TestReset(t *testing.T) {
 	var q Queue
-	h := q.Schedule(1, 0, nil)
-	q.Schedule(2, 0, nil)
+	h := q.Schedule(1, 0, 0)
+	q.Schedule(2, 0, 0)
 	q.Reset()
 	if q.Len() != 0 {
 		t.Fatalf("len after reset = %d", q.Len())
@@ -114,19 +131,43 @@ func TestReset(t *testing.T) {
 	if q.Cancel(h) {
 		t.Fatal("cancel after reset returned true")
 	}
-	q.Schedule(9, 0, nil)
+	q.Schedule(9, 0, 0)
 	if got := drain(t, &q); len(got) != 1 || got[0] != 9 {
 		t.Fatalf("queue unusable after reset: %v", got)
 	}
 }
 
-func TestPayloadAndKindPreserved(t *testing.T) {
+func TestDataAndKindPreserved(t *testing.T) {
 	var q Queue
-	type payload struct{ s string }
-	q.Schedule(1, 42, &payload{s: "hello"})
+	q.Schedule(1, 42, 7)
 	ev, _ := q.Pop()
-	if ev.Kind != 42 || ev.Payload.(*payload).s != "hello" {
-		t.Fatalf("payload/kind mangled: %+v", ev)
+	if ev.Kind != 42 || ev.Data != 7 {
+		t.Fatalf("data/kind mangled: %+v", ev)
+	}
+}
+
+func TestReuseDoesNotGrowArena(t *testing.T) {
+	// After a warm-up cycle, Schedule/Pop/Reset churn must reuse arena
+	// slots instead of growing the slab.
+	var q Queue
+	for i := 0; i < 32; i++ {
+		q.Schedule(float64(i), 0, 0)
+	}
+	q.Reset()
+	warm := len(q.slots)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 32; i++ {
+			q.Schedule(float64(i), 0, 0)
+		}
+		for i := 0; i < 16; i++ {
+			if _, err := q.Pop(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q.Reset()
+	}
+	if len(q.slots) != warm {
+		t.Fatalf("arena grew from %d to %d slots under steady churn", warm, len(q.slots))
 	}
 }
 
@@ -137,7 +178,7 @@ func TestHeapPropertyRandomized(t *testing.T) {
 		want := make([]float64, 0, n)
 		for i := 0; i < int(n); i++ {
 			tm := src.Float64() * 1000
-			q.Schedule(tm, 0, nil)
+			q.Schedule(tm, 0, 0)
 			want = append(want, tm)
 		}
 		sort.Float64s(want)
@@ -158,34 +199,38 @@ func TestInterleavedScheduleCancelPop(t *testing.T) {
 	src := rand.New(rand.NewPCG(11, 12))
 	var q Queue
 	var handles []Handle
-	live := map[*Event]bool{}
+	next := 0 // unique Data tag per scheduled event
+	live := map[int]Handle{}
+	tag := map[Handle]int{}
 	for step := 0; step < 5000; step++ {
 		switch op := src.IntN(3); {
 		case op == 0 || q.Len() == 0:
-			h := q.Schedule(src.Float64()*100, 0, nil)
+			h := q.Schedule(src.Float64()*100, 0, next)
 			handles = append(handles, h)
-			live[h.ev] = true
+			live[next] = h
+			tag[h] = next
+			next++
 		case op == 1:
 			ev, err := q.Pop()
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !live[ev] {
+			if _, ok := live[ev.Data]; !ok {
 				t.Fatal("popped dead event")
 			}
-			delete(live, ev)
+			delete(live, ev.Data)
 			// Verify heap head is still >= popped time.
 			if head, ok := q.Peek(); ok && head.Time < ev.Time {
 				t.Fatalf("order violated: popped %v then head %v", ev.Time, head.Time)
 			}
 		default:
 			h := handles[src.IntN(len(handles))]
-			was := live[h.ev]
+			_, was := live[tag[h]]
 			got := q.Cancel(h)
 			if got != was {
 				t.Fatalf("cancel=%v but live=%v", got, was)
 			}
-			delete(live, h.ev)
+			delete(live, tag[h])
 		}
 		if q.Len() != len(live) {
 			t.Fatalf("len mismatch: q=%d live=%d", q.Len(), len(live))

@@ -67,7 +67,7 @@ func PolicyAblation(opt Options, systems []string) (*AblationResult, error) {
 		row := AblationRow{System: name, Plan: plan.String()}
 		for i, policy := range []sim.RestartPolicy{sim.RetryPolicy, sim.EscalatePolicy} {
 			res, _, err := opt.runCampaign(sim.Campaign{
-				Config: sim.Config{
+				Scenario: sim.Scenario{
 					System: sys, Plan: plan, Policy: policy,
 					MaxWallFactor: opt.wallFactor(),
 				},
@@ -130,7 +130,7 @@ func WeibullAblation(opt Options, shape float64, systems []string) (*AblationRes
 		row := AblationRow{System: name, Plan: plan.String()}
 		for i, fl := range [][]dist.Sampler{nil, laws} {
 			res, _, err := opt.runCampaign(sim.Campaign{
-				Config: sim.Config{
+				Scenario: sim.Scenario{
 					System: sys, Plan: plan, FailureLaws: fl,
 					MaxWallFactor: opt.wallFactor(),
 				},
@@ -214,7 +214,7 @@ func AsyncAblation(opt Options, systems []string) (*AblationResult, error) {
 		row := AblationRow{System: name, Plan: plan.String()}
 		for i, async := range []bool{false, true} {
 			res, _, err := opt.runCampaign(sim.Campaign{
-				Config: sim.Config{
+				Scenario: sim.Scenario{
 					System: sys, Plan: plan, AsyncTopFlush: async,
 					MaxWallFactor: opt.wallFactor(),
 				},

@@ -180,7 +180,7 @@ func evaluate(sys *system.System, techName string, trials int, seed rng.Seed, op
 		return Cell{}, fmt.Errorf("%s on %s: optimize: %w", techName, sys.Name, err)
 	}
 	camp := sim.Campaign{
-		Config: sim.Config{
+		Scenario: sim.Scenario{
 			System:        sys,
 			Plan:          plan,
 			Policy:        sim.RetryPolicy, // the paper's simulations use this for all techniques

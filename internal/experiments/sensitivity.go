@@ -72,7 +72,7 @@ func Sensitivity(opt Options, systemName string, multipliers []float64) (*Sensit
 			return nil, err
 		}
 		res, _, err := opt.runCampaign(sim.Campaign{
-			Config: sim.Config{
+			Scenario: sim.Scenario{
 				System: sys, Plan: plan, MaxWallFactor: opt.wallFactor(),
 			},
 			Trials:  trials,

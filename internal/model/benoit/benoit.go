@@ -32,7 +32,11 @@ import (
 )
 
 func init() {
-	model.Register("benoit", func() model.Technique { return New() })
+	model.Register(model.Info{
+		Name:     "benoit",
+		Summary:  "first-order multilevel pattern model; failure-free C/R, steady-state",
+		Citation: "Benoit, Cavelan, Fèvre, Robert, Sun [18]",
+	}, func() model.Technique { return New() })
 }
 
 // Technique is the Benoit et al. first-order model + optimizer.

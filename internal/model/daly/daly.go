@@ -15,7 +15,12 @@ import (
 )
 
 func init() {
-	model.Register("daly", func() model.Technique { return New() })
+	model.Register(model.Info{
+		Name:      "daly",
+		Summary:   "single-level C/R with Daly's higher-order optimum interval",
+		Citation:  "Daly [11]",
+		MaxLevels: 1,
+	}, func() model.Technique { return New() })
 }
 
 // Technique is Daly's traditional checkpoint/restart model + optimizer.
@@ -101,7 +106,12 @@ func (t *Technique) Optimize(sys *system.System) (pattern.Plan, model.Prediction
 var _ model.Technique = (*Technique)(nil)
 
 func init() {
-	model.Register("young", func() model.Technique { return NewYoung() })
+	model.Register(model.Info{
+		Name:      "young",
+		Summary:   "single-level C/R at Young's first-order interval sqrt(2δM)",
+		Citation:  "Young [10]",
+		MaxLevels: 1,
+	}, func() model.Technique { return NewYoung() })
 }
 
 // Young is Young's first-order single-level technique [10]: the same

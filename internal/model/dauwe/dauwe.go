@@ -28,7 +28,11 @@ import (
 )
 
 func init() {
-	model.Register("dauwe", func() model.Technique { return New() })
+	model.Register(model.Info{
+		Name:     "dauwe",
+		Summary:  "the paper's hierarchical continuous-equation model; models failed C/R and finite T_B",
+		Citation: "Dauwe, Pasricha, Maciejewski, Siegel (the source paper)",
+	}, func() model.Technique { return New() })
 }
 
 // Technique is the Dauwe et al. model + optimizer.

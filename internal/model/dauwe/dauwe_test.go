@@ -396,9 +396,9 @@ func TestPredictDetailedMatchesSimulatedShares(t *testing.T) {
 		t.Fatal(err)
 	}
 	camp := sim.Campaign{
-		Config: sim.Config{System: sys, Plan: plan},
-		Trials: 200,
-		Seed:   rng.Campaign(3, "detailed").Scenario("D2"),
+		Scenario: sim.Scenario{System: sys, Plan: plan},
+		Trials:   200,
+		Seed:     rng.Campaign(3, "detailed").Scenario("D2"),
 	}
 	res, err := camp.Run()
 	if err != nil {

@@ -32,7 +32,12 @@ import (
 )
 
 func init() {
-	model.Register("di", func() model.Technique { return New() })
+	model.Register(model.Info{
+		Name:      "di",
+		Summary:   "two-level offline pattern model; failure-free C/R, knows T_B",
+		Citation:  "Di, Robert, Vivien, Cappello [17]",
+		MaxLevels: 2,
+	}, func() model.Technique { return New() })
 }
 
 // Technique is the Di et al. two-level model + optimizer.

@@ -63,32 +63,77 @@ type Technique interface {
 	Optimizer
 }
 
+// Info describes a registered technique uniformly, so tools can print
+// tables, legends, and listings without special-casing names.
+type Info struct {
+	// Name is the registry key (e.g. "dauwe", "moody").
+	Name string
+	// Summary is a one-line human description of the technique.
+	Summary string
+	// Citation names the source publication.
+	Citation string
+	// MaxLevels is the largest checkpoint-hierarchy depth the technique
+	// can plan for; 0 means unbounded (any number of levels).
+	MaxLevels int
+}
+
+type registration struct {
+	info Info
+	ctor func() Technique
+}
+
 var (
 	regMu    sync.RWMutex
-	registry = map[string]func() Technique{}
+	registry = map[string]registration{}
 )
 
-// Register installs a technique constructor under its name. It is called
-// from the init functions of the technique packages and panics on
-// duplicates (a programming error).
-func Register(name string, ctor func() Technique) {
+// Register installs a technique constructor under info.Name. It is
+// called from the init functions of the technique packages and panics on
+// duplicates or an empty name (programming errors).
+func Register(info Info, ctor func() Technique) {
 	regMu.Lock()
 	defer regMu.Unlock()
-	if _, dup := registry[name]; dup {
-		panic(fmt.Sprintf("model: duplicate technique %q", name))
+	if info.Name == "" {
+		panic("model: Register with empty technique name")
 	}
-	registry[name] = ctor
+	if _, dup := registry[info.Name]; dup {
+		panic(fmt.Sprintf("model: duplicate technique %q", info.Name))
+	}
+	registry[info.Name] = registration{info: info, ctor: ctor}
 }
 
 // New instantiates a registered technique by name.
 func New(name string) (Technique, error) {
 	regMu.RLock()
-	ctor, ok := registry[name]
+	reg, ok := registry[name]
 	regMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("model: unknown technique %q (have %v)", name, RegisteredNames())
 	}
-	return ctor(), nil
+	return reg.ctor(), nil
+}
+
+// Describe returns the registered metadata for a technique.
+func Describe(name string) (Info, error) {
+	regMu.RLock()
+	reg, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return Info{}, fmt.Errorf("model: unknown technique %q (have %v)", name, RegisteredNames())
+	}
+	return reg.info, nil
+}
+
+// Infos lists every registered technique's metadata, sorted by name.
+func Infos() []Info {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	infos := make([]Info, 0, len(registry))
+	for _, reg := range registry {
+		infos = append(infos, reg.info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
 }
 
 // RegisteredNames lists the registered techniques in sorted order.

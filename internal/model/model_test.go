@@ -18,7 +18,13 @@ func (f *fakeTechnique) Optimize(*system.System) (pattern.Plan, Prediction, erro
 }
 
 func TestRegistryRoundTrip(t *testing.T) {
-	Register("fake-technique", func() Technique { return &fakeTechnique{name: "fake-technique"} })
+	info := Info{
+		Name:      "fake-technique",
+		Summary:   "a test double",
+		Citation:  "nobody",
+		MaxLevels: 3,
+	}
+	Register(info, func() Technique { return &fakeTechnique{name: "fake-technique"} })
 	tech, err := New("fake-technique")
 	if err != nil {
 		t.Fatal(err)
@@ -35,21 +41,49 @@ func TestRegistryRoundTrip(t *testing.T) {
 	if !found {
 		t.Fatalf("RegisteredNames missing fake-technique: %v", RegisteredNames())
 	}
+	got, err := Describe("fake-technique")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != info {
+		t.Fatalf("Describe = %+v, want %+v", got, info)
+	}
+	var listed bool
+	for _, i := range Infos() {
+		if i == info {
+			listed = true
+		}
+	}
+	if !listed {
+		t.Fatalf("Infos missing %+v: %+v", info, Infos())
+	}
 }
 
 func TestRegistryDuplicatePanics(t *testing.T) {
-	Register("dup-technique", func() Technique { return &fakeTechnique{} })
+	Register(Info{Name: "dup-technique"}, func() Technique { return &fakeTechnique{} })
 	defer func() {
 		if recover() == nil {
 			t.Fatal("duplicate registration did not panic")
 		}
 	}()
-	Register("dup-technique", func() Technique { return &fakeTechnique{} })
+	Register(Info{Name: "dup-technique"}, func() Technique { return &fakeTechnique{} })
+}
+
+func TestRegistryEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty-name registration did not panic")
+		}
+	}()
+	Register(Info{}, func() Technique { return &fakeTechnique{} })
 }
 
 func TestNewUnknown(t *testing.T) {
 	if _, err := New("never-registered"); err == nil {
 		t.Fatal("unknown technique accepted")
+	}
+	if _, err := Describe("never-registered"); err == nil {
+		t.Fatal("unknown technique described")
 	}
 }
 
@@ -69,6 +103,12 @@ func TestRegisteredNamesSorted(t *testing.T) {
 	for i := 1; i < len(names); i++ {
 		if names[i] < names[i-1] {
 			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+	infos := Infos()
+	for i := 1; i < len(infos); i++ {
+		if infos[i].Name < infos[i-1].Name {
+			t.Fatalf("infos not sorted: %v", infos)
 		}
 	}
 }

@@ -34,7 +34,11 @@ import (
 )
 
 func init() {
-	model.Register("moody", func() model.Technique { return New() })
+	model.Register(model.Info{
+		Name:     "moody",
+		Summary:  "exact SCR Markov-chain period model; steady-state, escalating restarts",
+		Citation: "Moody, Bronevetsky, Mohror, de Supinski [5]",
+	}, func() model.Technique { return New() })
 }
 
 // Technique is the Moody et al. SCR Markov model + optimizer.

@@ -15,13 +15,13 @@ import (
 
 // failureHeavyConfig returns a D4 scenario with a short-interval plan:
 // plenty of failures, checkpoints at two levels, and scratch restarts.
-func failureHeavyConfig(t *testing.T) sim.Config {
+func failureHeavyConfig(t *testing.T) sim.Scenario {
 	t.Helper()
 	sys, err := system.ByName("D4")
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := sim.Config{
+	cfg := sim.Scenario{
 		System: sys,
 		Plan:   pattern.Plan{Tau0: 1.3, Counts: []int{3}, Levels: []int{1, 2}},
 	}
@@ -38,7 +38,11 @@ func failureHeavyConfig(t *testing.T) sim.Config {
 func TestSimMetricsInvariant(t *testing.T) {
 	cfg := failureHeavyConfig(t)
 	m := NewSimMetrics()
-	cfg.Observer = m
+	eng, err := sim.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Observe(m)
 	seed := rng.Campaign(1, "obs-invariant")
 
 	const trials = 1000
@@ -46,7 +50,7 @@ func TestSimMetricsInvariant(t *testing.T) {
 	wantFailures := map[int]uint64{}
 	sumWall := 0.0
 	for i := 0; i < trials; i++ {
-		res, err := sim.RunTrial(cfg, seed.Trial(i).Rand())
+		res, err := eng.Run(seed.Trial(i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,9 +142,9 @@ func sumSlice(s []float64) float64 {
 func TestPoolCampaignMerge(t *testing.T) {
 	const trials = 200
 	camp := sim.Campaign{
-		Config: failureHeavyConfig(t),
-		Trials: trials,
-		Seed:   rng.Campaign(1, "obs-pool"),
+		Scenario: failureHeavyConfig(t),
+		Trials:   trials,
+		Seed:     rng.Campaign(1, "obs-pool"),
 	}
 	pool := &Pool{}
 	camp.ObserverFactory = pool.Observer
@@ -191,11 +195,15 @@ func TestPoolCampaignMerge(t *testing.T) {
 func TestSimMetricsReusedAcrossTrials(t *testing.T) {
 	cfg := failureHeavyConfig(t)
 	m := NewSimMetrics()
-	cfg.Observer = m
+	eng, err := sim.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Observe(m)
 	seed := rng.Campaign(3, "obs-reuse")
 	var walls []float64
 	for i := 0; i < 3; i++ {
-		res, err := sim.RunTrial(cfg, seed.Trial(i).Rand())
+		res, err := eng.Run(seed.Trial(i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -214,10 +222,13 @@ func TestSimMetricsReusedAcrossTrials(t *testing.T) {
 }
 
 func TestWriteSummary(t *testing.T) {
-	cfg := failureHeavyConfig(t)
 	m := NewSimMetrics()
-	cfg.Observer = m
-	if _, err := sim.RunTrial(cfg, rng.Campaign(1, "obs-summary").Trial(0).Rand()); err != nil {
+	eng, err := sim.NewEngine(failureHeavyConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Observe(m)
+	if _, err := eng.Run(rng.Campaign(1, "obs-summary").Trial(0)); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/eventq"
 	"repro/internal/pattern"
+	"repro/internal/rng"
 )
 
 // Event-queue kinds used by the engine.
@@ -24,12 +25,31 @@ type store struct {
 	pos      int     // pattern interval index to resume at
 }
 
-// engine is the per-trial simulation state.
-type engine struct {
-	cfg        *Config
-	rng        *rand.Rand
-	laws       []dist.Sampler // per severity, index 0 = severity 1
-	plan       pattern.Plan   // current plan; Controller may swap it
+// Engine executes trials of one scenario. It is built once (per worker
+// goroutine, typically), validated once, and then reused for any number
+// of trials: the event queue, failure-law table, checkpoint stores,
+// failure counters and RNG state are recycled between trials, so the
+// per-trial hot path performs no heap allocations. An Engine is not
+// safe for concurrent use; run one per goroutine.
+//
+// Results are identical to constructing a fresh engine per trial: Reset
+// restores every piece of per-trial state, and the PCG stream for trial
+// seed s is the same whether the generator is freshly built or reseeded.
+type Engine struct {
+	// Immutable after construction.
+	scn      Scenario
+	laws     []dist.Sampler // per severity, index 0 = severity 1
+	maxWall  float64
+	observer Observer
+	makeCtl  func() PlanController
+
+	// Owned RNG, reseeded per Run; RunRand substitutes a caller stream.
+	pcg    *rand.PCG
+	ownRng *rand.Rand
+	rng    *rand.Rand
+
+	// Per-trial state, recycled by reset.
+	plan       pattern.Plan // current plan; Controller may swap it
 	controller PlanController
 	err        error // fatal mid-run error (invalid controller plan)
 
@@ -37,7 +57,6 @@ type engine struct {
 	phaseHandle eventq.Handle
 
 	now        float64
-	maxWall    float64
 	done       float64 // current useful progress (state the next checkpoint would commit)
 	pos        int     // next pattern interval index
 	stores     []store // one per used level
@@ -51,34 +70,21 @@ type engine struct {
 	flushHandle  eventq.Handle // cancellation handle for the flush
 	flushStore   store         // state the in-flight flush will commit
 
-	res TrialResult
+	failures []int // per-severity counters, reused across trials
+	res      TrialResult
 }
 
-// RunTrial simulates one application execution and returns its result.
-// The caller provides the random stream (see internal/rng for
-// reproducible per-trial seeding).
-func RunTrial(cfg Config, r *rand.Rand) (TrialResult, error) {
-	if err := cfg.Validate(); err != nil {
-		return TrialResult{}, err
+// NewEngine validates the scenario once and builds a reusable engine.
+func NewEngine(scn Scenario) (*Engine, error) {
+	if err := scn.Validate(); err != nil {
+		return nil, err
 	}
-	if r == nil {
-		return TrialResult{}, fmt.Errorf("sim: nil random source")
-	}
-	e := &engine{cfg: &cfg, rng: r}
-	if err := e.init(); err != nil {
-		return TrialResult{}, err
-	}
-	e.run()
-	return e.res, e.err
-}
-
-func (e *engine) init() error {
-	sys := e.cfg.System
+	sys := scn.System
 	L := sys.NumLevels()
-	e.laws = make([]dist.Sampler, L)
+	e := &Engine{scn: scn, laws: make([]dist.Sampler, L)}
 	for sev := 1; sev <= L; sev++ {
-		if len(e.cfg.FailureLaws) >= sev && e.cfg.FailureLaws[sev-1] != nil {
-			e.laws[sev-1] = e.cfg.FailureLaws[sev-1]
+		if len(scn.FailureLaws) >= sev && scn.FailureLaws[sev-1] != nil {
+			e.laws[sev-1] = scn.FailureLaws[sev-1]
 			continue
 		}
 		rate := sys.LevelRate(sev)
@@ -88,30 +94,125 @@ func (e *engine) init() error {
 		}
 		law, err := dist.NewExponential(rate)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		e.laws[sev-1] = law
 	}
-	factor := e.cfg.MaxWallFactor
+	factor := scn.MaxWallFactor
 	if factor == 0 {
 		factor = DefaultMaxWallFactor
 	}
 	e.maxWall = factor * sys.BaselineTime
-	e.plan = e.cfg.Plan
-	e.controller = e.cfg.Controller
-	e.stores = make([]store, e.plan.NumUsed())
-	e.res.Failures = make([]int, L)
+	e.failures = make([]int, L)
+	e.stores = make([]store, 0, scn.Plan.NumUsed())
+	return e, nil
+}
+
+// Observe streams every event of subsequent trials to o (nil detaches).
+// Campaigns install one observer per worker engine so observer state
+// stays goroutine-local and lock-free.
+func (e *Engine) Observe(o Observer) { e.observer = o }
+
+// Control installs an online plan-controller factory. Controllers are
+// stateful per trial, so the factory is invoked at the start of every
+// Run/RunRand; a nil factory (or a factory returning nil) disables
+// control.
+func (e *Engine) Control(factory func() PlanController) { e.makeCtl = factory }
+
+// Run simulates one trial drawn from the given seed and returns its
+// result. The engine's internal PCG generator is reseeded from the
+// seed's raw words, so the stream is byte-identical to
+// RunRand(seed.Rand()) without the per-trial generator allocation.
+//
+// The returned result's Failures slice aliases engine scratch and is
+// valid until the next Run/RunRand; callers that retain results across
+// trials must copy it.
+func (e *Engine) Run(seed rng.Seed) (TrialResult, error) {
+	if e.pcg == nil {
+		e.pcg = &rand.PCG{}
+		e.ownRng = rand.New(e.pcg)
+	}
+	hi, lo := seed.Words()
+	e.pcg.Seed(hi, lo)
+	return e.RunRand(e.ownRng)
+}
+
+// RunRand simulates one trial using a caller-provided random stream
+// (trace replays and tests drive this directly). The same Failures
+// aliasing contract as Run applies.
+func (e *Engine) RunRand(r *rand.Rand) (TrialResult, error) {
+	if r == nil {
+		return TrialResult{}, fmt.Errorf("sim: nil random source")
+	}
+	e.rng = r
+	e.reset()
+	e.run()
+	return e.res, e.err
+}
+
+// RunTrial simulates one application execution and returns its result —
+// a thin compatibility wrapper over a single-use engine. The caller
+// provides the random stream (see internal/rng for reproducible
+// per-trial seeding). Campaigns and repeated runs should construct one
+// Engine and reuse it instead.
+func RunTrial(scn Scenario, r *rand.Rand) (TrialResult, error) {
+	e, err := NewEngine(scn)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	return e.RunRand(r)
+}
+
+// reset recycles all per-trial state and arms the opening events. It
+// must leave the engine in exactly the state a freshly-built engine
+// would start a trial in.
+func (e *Engine) reset() {
+	e.queue.Reset()
+	e.phaseHandle = eventq.Handle{}
+	e.flushHandle = eventq.Handle{}
+	e.now, e.done = 0, 0
+	e.pos = 0
+	e.phase, e.phaseStart, e.phaseLevel, e.restartIdx = 0, 0, 0, 0
+	e.asyncCapture, e.flushPending = false, false
+	e.flushStore = store{}
+	e.err = nil
+	e.plan = e.scn.Plan
+	if e.makeCtl != nil {
+		e.controller = e.makeCtl()
+	} else {
+		e.controller = nil
+	}
+
+	n := e.plan.NumUsed()
+	if cap(e.stores) < n {
+		e.stores = make([]store, n)
+	} else {
+		e.stores = e.stores[:n]
+		for i := range e.stores {
+			e.stores[i] = store{}
+		}
+	}
+	for i := range e.failures {
+		e.failures[i] = 0
+	}
+	e.res = TrialResult{Failures: e.failures}
+
+	// Stateful failure laws (trace replays) restart their stream.
+	for _, law := range e.laws {
+		if rw, ok := law.(dist.Rewinder); ok {
+			rw.Rewind()
+		}
+	}
 
 	// Arm one arrival per severity.
-	for sev := 1; sev <= L; sev++ {
+	for sev := 1; sev <= len(e.laws); sev++ {
 		e.armFailure(sev)
 	}
 	e.startCompute()
-	return nil
 }
 
 // armFailure schedules the next arrival of a severity class.
-func (e *engine) armFailure(sev int) {
+func (e *Engine) armFailure(sev int) {
 	law := e.laws[sev-1]
 	if law == nil {
 		return
@@ -119,26 +220,26 @@ func (e *engine) armFailure(sev int) {
 	e.queue.Schedule(e.now+law.Sample(e.rng), evqFailure, sev)
 }
 
-func (e *engine) observe(kind EventKind, level int) {
-	if e.cfg.Observer == nil {
+func (e *Engine) observe(kind EventKind, level int) {
+	if e.observer == nil {
 		return
 	}
-	e.cfg.Observer.Observe(Event{
+	e.observer.Observe(Event{
 		Time: e.now, Kind: kind, Phase: e.phase, Level: level, Progress: e.done,
 	})
 }
 
 // startPhase begins a phase of the given duration.
-func (e *engine) startPhase(p Phase, level int, duration float64) {
+func (e *Engine) startPhase(p Phase, level int, duration float64) {
 	e.phase = p
 	e.phaseLevel = level
 	e.phaseStart = e.now
-	e.phaseHandle = e.queue.Schedule(e.now+duration, evqPhaseEnd, nil)
+	e.phaseHandle = e.queue.Schedule(e.now+duration, evqPhaseEnd, 0)
 	e.observe(EvPhaseStart, level)
 }
 
-func (e *engine) startCompute() {
-	remaining := e.cfg.System.BaselineTime - e.done
+func (e *Engine) startCompute() {
+	remaining := e.scn.System.BaselineTime - e.done
 	interval := e.plan.Tau0
 	if interval > remaining {
 		interval = remaining
@@ -147,7 +248,7 @@ func (e *engine) startCompute() {
 }
 
 // run drives the event loop until completion or the wall-time cap.
-func (e *engine) run() {
+func (e *Engine) run() {
 	for {
 		ev, err := e.queue.Pop()
 		if err != nil {
@@ -175,7 +276,7 @@ func (e *engine) run() {
 			e.flushPending = false
 			e.stores[e.plan.NumUsed()-1] = e.flushStore
 		case evqFailure:
-			sev := ev.Payload.(int)
+			sev := ev.Data
 			e.res.Failures[sev-1]++
 			e.observe(EvFailure, sev)
 			if e.controller != nil {
@@ -185,12 +286,12 @@ func (e *engine) run() {
 			e.failure(sev)
 		}
 	}
-	e.finish(e.done >= e.cfg.System.BaselineTime)
+	e.finish(e.done >= e.scn.System.BaselineTime)
 }
 
 // phaseEnd handles successful completion of the current phase; it
 // returns true when the application has finished.
-func (e *engine) phaseEnd() bool {
+func (e *Engine) phaseEnd() bool {
 	d := e.now - e.phaseStart
 	plan := &e.plan
 	switch e.phase {
@@ -198,19 +299,19 @@ func (e *engine) phaseEnd() bool {
 		e.res.Breakdown.UsefulCompute += d // reclassified to Lost on rollback
 		e.done += d
 		e.observe(EvPhaseEnd, 0)
-		if e.done >= e.cfg.System.BaselineTime-1e-12 {
-			e.done = e.cfg.System.BaselineTime
+		if e.done >= e.scn.System.BaselineTime-1e-12 {
+			e.done = e.scn.System.BaselineTime
 			return true
 		}
 		usedIdx := plan.LevelAfterInterval(e.pos)
 		lvl := plan.Levels[usedIdx]
-		duration := e.cfg.System.Levels[lvl-1].Checkpoint
+		duration := e.scn.System.Levels[lvl-1].Checkpoint
 		e.asyncCapture = false
-		if e.cfg.AsyncTopFlush && usedIdx == plan.NumUsed()-1 && plan.NumUsed() >= 2 {
+		if e.scn.AsyncTopFlush && usedIdx == plan.NumUsed()-1 && plan.NumUsed() >= 2 {
 			// Async: block only for the capture to the next-lower
 			// level; the top-level write drains in the background.
 			capture := plan.Levels[usedIdx-1]
-			duration = e.cfg.System.Levels[capture-1].Checkpoint
+			duration = e.scn.System.Levels[capture-1].Checkpoint
 			e.asyncCapture = true
 		}
 		e.startPhase(PhaseCheckpoint, lvl, duration)
@@ -228,7 +329,7 @@ func (e *engine) phaseEnd() bool {
 			}
 			e.flushStore = store{valid: true, progress: e.done, pos: next}
 			e.flushHandle = e.queue.Schedule(
-				e.now+e.cfg.System.Levels[e.phaseLevel-1].Checkpoint, evqFlushEnd, nil)
+				e.now+e.scn.System.Levels[e.phaseLevel-1].Checkpoint, evqFlushEnd, 0)
 			e.flushPending = true
 			e.asyncCapture = false
 		}
@@ -261,7 +362,7 @@ func (e *engine) phaseEnd() bool {
 
 // chargePartialPhase books the elapsed portion of an interrupted phase
 // into the matching failure bucket.
-func (e *engine) chargePartialPhase() {
+func (e *Engine) chargePartialPhase() {
 	d := e.now - e.phaseStart
 	switch e.phase {
 	case PhaseCompute:
@@ -276,7 +377,7 @@ func (e *engine) chargePartialPhase() {
 }
 
 // rollbackTo restores application state from a committed checkpoint.
-func (e *engine) rollbackTo(st store) {
+func (e *Engine) rollbackTo(st store) {
 	// Progress between the checkpoint and now is lost: reclassify.
 	lost := e.done - st.progress
 	if lost > 0 {
@@ -288,7 +389,7 @@ func (e *engine) rollbackTo(st store) {
 }
 
 // failure handles a severity-s arrival.
-func (e *engine) failure(sev int) {
+func (e *Engine) failure(sev int) {
 	e.queue.Cancel(e.phaseHandle)
 	e.chargePartialPhase()
 	if e.flushPending {
@@ -314,9 +415,9 @@ func (e *engine) failure(sev int) {
 
 // nextRestartNeed applies the restart policy when a failure of severity
 // sev interrupts the in-progress restart.
-func (e *engine) nextRestartNeed(sev int) int {
+func (e *Engine) nextRestartNeed(sev int) int {
 	cur := e.phaseLevel
-	switch e.cfg.Policy {
+	switch e.scn.Policy {
 	case EscalatePolicy:
 		// Escalate to the next used level above the current one, and
 		// at least to the failing severity's level.
@@ -341,11 +442,11 @@ func (e *engine) nextRestartNeed(sev int) int {
 
 // beginRecovery starts a restart from the lowest used level >= need that
 // holds a valid checkpoint, or restarts the application from scratch.
-func (e *engine) beginRecovery(need int) {
+func (e *Engine) beginRecovery(need int) {
 	for i, lvl := range e.plan.Levels {
 		if lvl >= need && e.stores[i].valid {
 			e.restartIdx = i
-			e.startPhase(PhaseRestart, lvl, e.cfg.System.Levels[lvl-1].Restart)
+			e.startPhase(PhaseRestart, lvl, e.scn.System.Levels[lvl-1].Restart)
 			return
 		}
 	}
@@ -358,12 +459,12 @@ func (e *engine) beginRecovery(need int) {
 }
 
 // finish freezes the trial result.
-func (e *engine) finish(completed bool) {
+func (e *Engine) finish(completed bool) {
 	e.res.Completed = completed
 	e.res.WallTime = e.now
 	e.res.Progress = e.done
 	if completed {
-		e.res.Progress = e.cfg.System.BaselineTime
+		e.res.Progress = e.scn.System.BaselineTime
 	}
 	if e.res.WallTime > 0 {
 		e.res.Efficiency = e.res.Progress / e.res.WallTime
@@ -386,8 +487,8 @@ func (e *engine) finish(completed bool) {
 // switchPlan installs a controller-provided plan. The pattern restarts
 // at position 0; committed checkpoints keep their progress but resume at
 // the new pattern's start.
-func (e *engine) switchPlan(p pattern.Plan) error {
-	if err := p.Validate(e.cfg.System); err != nil {
+func (e *Engine) switchPlan(p pattern.Plan) error {
+	if err := p.Validate(e.scn.System); err != nil {
 		return fmt.Errorf("sim: controller produced invalid plan: %w", err)
 	}
 	if e.flushPending {

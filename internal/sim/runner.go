@@ -11,29 +11,46 @@ import (
 	"repro/internal/stats"
 )
 
+// maxWorkers bounds Campaign.Workers. Far above any real machine; a
+// request beyond it is a unit mix-up (e.g. passing a trial count), not
+// a parallelism choice, and is rejected rather than silently clamped.
+const maxWorkers = 1 << 16
+
 // Campaign runs many independent trials of one scenario.
 type Campaign struct {
-	// Config is the per-trial scenario.
-	Config Config
+	// Scenario is the per-trial scenario.
+	Scenario Scenario
 	// Trials is the number of independent executions (the paper uses
 	// 200, or 400 for Figure 5).
 	Trials int
-	// Seed is the scenario-level seed; trial i draws from
-	// Seed.Trial(i), so results are independent of Workers.
+	// Seed is the scenario-level seed. Trial i always draws its random
+	// stream from Seed.Trial(i): the seed→trial mapping is part of the
+	// API contract, so a campaign's results — including the order of
+	// Efficiencies and every aggregate — are byte-identical for a given
+	// Seed regardless of Workers, scheduling, or engine reuse.
 	Seed rng.Seed
-	// Workers bounds parallelism (0 = GOMAXPROCS).
+	// Workers bounds parallelism. 0 means GOMAXPROCS; values above
+	// Trials are clamped to Trials (extra workers would idle). Negative
+	// or absurdly large (> 65536) values are rejected by Run.
 	Workers int
 	// ObserverFactory, when non-nil, builds one Observer per worker
 	// goroutine (called once per worker with its index); every trial the
 	// worker runs streams events to that observer. Keeping observer
 	// state goroutine-local lets metrics shards aggregate without locks
-	// on the hot path (see internal/obs.Pool). Config.Observer must
-	// still be nil for campaigns.
+	// on the hot path (see internal/obs.Pool).
 	ObserverFactory func(worker int) Observer
+	// ControllerFactory, when non-nil, builds one fresh PlanController
+	// per trial (controllers are stateful). A factory returning nil
+	// leaves that trial uncontrolled.
+	ControllerFactory func() PlanController
 	// TrialDone, when non-nil, is called once after every completed
 	// trial, from worker goroutines — it must be safe for concurrent
 	// use. Progress reporters hook in here.
 	TrialDone func(TrialResult)
+
+	// noEngineReuse forces a fresh engine per trial; determinism tests
+	// use it to prove reuse does not change results.
+	noEngineReuse bool
 }
 
 // CampaignResult aggregates a campaign.
@@ -63,31 +80,37 @@ type CampaignResult struct {
 	MeanScratchRestarts float64
 }
 
-// Run executes the campaign. Trials are distributed over worker
-// goroutines; per-trial seeding makes the aggregate deterministic for a
-// given Campaign.Seed regardless of scheduling.
+// Run executes the campaign. Each worker goroutine builds one Engine
+// and drives all of its trials through it, so the per-trial hot path
+// allocates nothing; per-trial seeding (Seed.Trial(i)) makes the
+// aggregate deterministic for a given Campaign.Seed regardless of
+// scheduling, worker count, or engine reuse.
 func (c Campaign) Run() (CampaignResult, error) {
 	if c.Trials <= 0 {
 		return CampaignResult{}, errors.New("sim: campaign needs at least one trial")
 	}
-	if err := c.Config.Validate(); err != nil {
+	if err := c.Scenario.Validate(); err != nil {
 		return CampaignResult{}, err
 	}
-	if c.Config.Observer != nil {
-		return CampaignResult{}, errors.New("sim: observers are per-trial; campaigns do not support them")
+	if c.Workers < 0 {
+		return CampaignResult{}, fmt.Errorf("sim: negative Workers %d", c.Workers)
 	}
-	if c.Config.Controller != nil {
-		return CampaignResult{}, errors.New("sim: controllers are stateful per trial; set ControllerFactory instead")
+	if c.Workers > maxWorkers {
+		return CampaignResult{}, fmt.Errorf("sim: Workers %d exceeds limit %d", c.Workers, maxWorkers)
 	}
 	workers := c.Workers
-	if workers <= 0 {
+	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > c.Trials {
 		workers = c.Trials
 	}
 
+	L := c.Scenario.System.NumLevels()
 	results := make([]TrialResult, c.Trials)
+	// Engines return their Failures slice as reusable scratch; each
+	// trial's counts are copied into one flat campaign-owned buffer.
+	failBuf := make([]int, c.Trials*L)
 	errs := make([]error, workers)
 	// A failed trial poisons the whole campaign, so the first error
 	// cancels the remaining trials on every worker instead of letting
@@ -102,21 +125,37 @@ func (c Campaign) Run() (CampaignResult, error) {
 			if c.ObserverFactory != nil {
 				obs = c.ObserverFactory(w)
 			}
+			eng, err := NewEngine(c.Scenario)
+			if err != nil {
+				errs[w] = err
+				failed.Store(true)
+				return
+			}
+			eng.Observe(obs)
+			eng.Control(c.ControllerFactory)
 			for i := w; i < c.Trials; i += workers {
 				if failed.Load() {
 					return
 				}
-				cfg := c.Config
-				cfg.Observer = obs
-				if cfg.ControllerFactory != nil {
-					cfg.Controller = cfg.ControllerFactory()
+				if c.noEngineReuse {
+					eng, err = NewEngine(c.Scenario)
+					if err != nil {
+						errs[w] = err
+						failed.Store(true)
+						return
+					}
+					eng.Observe(obs)
+					eng.Control(c.ControllerFactory)
 				}
-				r, err := RunTrial(cfg, c.Seed.Trial(i).Rand())
+				r, err := eng.Run(c.Seed.Trial(i))
 				if err != nil {
 					errs[w] = fmt.Errorf("trial %d: %w", i, err)
 					failed.Store(true)
 					return
 				}
+				fails := failBuf[i*L : (i+1)*L]
+				copy(fails, r.Failures)
+				r.Failures = fails
 				results[i] = r
 				if c.TrialDone != nil {
 					c.TrialDone(r)
@@ -133,7 +172,6 @@ func (c Campaign) Run() (CampaignResult, error) {
 
 	out := CampaignResult{Trials: c.Trials}
 	var eff, wall stats.Sample
-	L := c.Config.System.NumLevels()
 	out.MeanFailures = make([]float64, L)
 	out.Efficiencies = make([]float64, c.Trials)
 	for i := range results {

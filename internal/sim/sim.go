@@ -47,8 +47,15 @@ const (
 	EscalatePolicy
 )
 
-// Config describes one simulated scenario.
-type Config struct {
+// Scenario describes one simulated scenario: the trial-level inputs
+// only. It is a pure value — no per-trial state, no hooks — so one
+// Scenario can be shared by any number of trials, engines and workers.
+// Per-trial hooks (event observers, online plan controllers) attach to
+// the executor instead: Engine.Observe / Engine.Control for single
+// trials, Campaign.ObserverFactory / Campaign.ControllerFactory for
+// campaigns. That split makes the formerly mutually-exclusive hook
+// fields unrepresentable rather than a runtime validation error.
+type Scenario struct {
 	// System under test. Required.
 	System *system.System
 	// Plan is the checkpointing strategy to execute. Required.
@@ -64,11 +71,10 @@ type Config struct {
 	// laws (index 0 = severity 1). Defaults to exponential processes at
 	// the system's severity rates; replace with Weibull laws for the
 	// non-memoryless ablation. A nil entry keeps the default for that
-	// severity.
+	// severity. Laws are shared across every trial that runs the
+	// scenario; stateful laws implementing dist.Rewinder are rewound at
+	// the start of each trial an Engine runs.
 	FailureLaws []dist.Sampler
-	// Observer, when non-nil, receives every simulation event (used by
-	// the trace tooling). Leave nil for campaign runs.
-	Observer Observer
 	// AsyncTopFlush enables SCR/FTI-style asynchronous flushing of the
 	// plan's top-level checkpoint: the application blocks only for the
 	// capture to the next-lower used level, then resumes computing
@@ -78,15 +84,6 @@ type Config struct {
 	// Ignored for single-level plans (there is no lower level to
 	// capture to).
 	AsyncTopFlush bool
-	// Controller, when non-nil, is an online checkpoint-interval
-	// controller: it observes failures and may replace the plan at safe
-	// points (right after a successful checkpoint commit). Controllers
-	// are stateful per trial; campaigns need a fresh one per trial and
-	// therefore use ControllerFactory instead.
-	Controller PlanController
-	// ControllerFactory builds a fresh Controller per trial; used by
-	// Campaign. Ignored when Controller is set.
-	ControllerFactory func() PlanController
 }
 
 // PlanController is an online checkpoint-interval controller. The
@@ -102,25 +99,25 @@ type PlanController interface {
 	Replan(now, progress float64) (pattern.Plan, bool)
 }
 
-// DefaultMaxWallFactor is the trial cap when Config.MaxWallFactor is 0.
+// DefaultMaxWallFactor is the trial cap when Scenario.MaxWallFactor is 0.
 const DefaultMaxWallFactor = 400
 
-// Validate checks the configuration.
-func (c *Config) Validate() error {
-	if c.System == nil {
+// Validate checks the scenario.
+func (s *Scenario) Validate() error {
+	if s.System == nil {
 		return errors.New("sim: nil system")
 	}
-	if err := c.System.Validate(); err != nil {
+	if err := s.System.Validate(); err != nil {
 		return err
 	}
-	if err := c.Plan.Validate(c.System); err != nil {
+	if err := s.Plan.Validate(s.System); err != nil {
 		return err
 	}
-	if c.MaxWallFactor < 0 {
-		return fmt.Errorf("sim: negative wall factor %v", c.MaxWallFactor)
+	if s.MaxWallFactor < 0 {
+		return fmt.Errorf("sim: negative wall factor %v", s.MaxWallFactor)
 	}
-	if len(c.FailureLaws) > c.System.NumLevels() {
-		return fmt.Errorf("sim: %d failure laws for %d severities", len(c.FailureLaws), c.System.NumLevels())
+	if len(s.FailureLaws) > s.System.NumLevels() {
+		return fmt.Errorf("sim: %d failure laws for %d severities", len(s.FailureLaws), s.System.NumLevels())
 	}
 	return nil
 }

@@ -40,7 +40,7 @@ func seed(name string) rng.Seed {
 
 func TestFailureFreeRun(t *testing.T) {
 	sys := twoLevel(1e15, 100)
-	cfg := Config{System: sys, Plan: planBoth(10, 1)}
+	cfg := Scenario{System: sys, Plan: planBoth(10, 1)}
 	res, err := RunTrial(cfg, seed("free").Trial(0).Rand())
 	if err != nil {
 		t.Fatal(err)
@@ -68,7 +68,7 @@ func TestFailureFreeRun(t *testing.T) {
 
 func TestBreakdownSumsToWallTime(t *testing.T) {
 	sys := twoLevel(10, 300)
-	cfg := Config{System: sys, Plan: planBoth(2, 3)}
+	cfg := Scenario{System: sys, Plan: planBoth(2, 3)}
 	s := seed("sum")
 	for i := 0; i < 50; i++ {
 		res, err := RunTrial(cfg, s.Trial(i).Rand())
@@ -104,9 +104,9 @@ func TestAgreementWithExactMarkovChain(t *testing.T) {
 	wantWall := periodTime * sys.BaselineTime / chain.Work()
 
 	camp := Campaign{
-		Config: Config{System: sys, Plan: plan},
-		Trials: 600,
-		Seed:   seed("markov-x"),
+		Scenario: Scenario{System: sys, Plan: plan},
+		Trials:   600,
+		Seed:     seed("markov-x"),
 	}
 	res, err := camp.Run()
 	if err != nil {
@@ -144,9 +144,9 @@ func TestFailureCountsMatchPoissonRates(t *testing.T) {
 	// Mean failures per severity must equal rate × mean wall time.
 	sys := twoLevel(12, 720)
 	camp := Campaign{
-		Config: Config{System: sys, Plan: planBoth(2, 3)},
-		Trials: 400,
-		Seed:   seed("poisson"),
+		Scenario: Scenario{System: sys, Plan: planBoth(2, 3)},
+		Trials:   400,
+		Seed:     seed("poisson"),
 	}
 	res, err := camp.Run()
 	if err != nil {
@@ -173,7 +173,7 @@ func TestSeverityTwoRollsPastLevelOne(t *testing.T) {
 	}
 	plan := planBoth(2, 5)
 	run := func(sys *system.System, name string) float64 {
-		camp := Campaign{Config: Config{System: sys, Plan: plan}, Trials: 150, Seed: seed(name)}
+		camp := Campaign{Scenario: Scenario{System: sys, Plan: plan}, Trials: 150, Seed: seed(name)}
 		res, err := camp.Run()
 		if err != nil {
 			t.Fatal(err)
@@ -192,7 +192,7 @@ func TestScratchRestartWhenTopLevelSkipped(t *testing.T) {
 	// read and must restart the application from zero progress.
 	sys := twoLevel(30, 60)
 	plan := pattern.Plan{Tau0: 5, Levels: []int{1}}
-	camp := Campaign{Config: Config{System: sys, Plan: plan}, Trials: 300, Seed: seed("scratch")}
+	camp := Campaign{Scenario: Scenario{System: sys, Plan: plan}, Trials: 300, Seed: seed("scratch")}
 	res, err := camp.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -225,7 +225,7 @@ func TestHopelessSystemHitsCap(t *testing.T) {
 			{Checkpoint: 50, Restart: 50, SeverityProb: 0.5},
 		},
 	}
-	cfg := Config{System: sys, Plan: planBoth(1, 1), MaxWallFactor: 20}
+	cfg := Scenario{System: sys, Plan: planBoth(1, 1), MaxWallFactor: 20}
 	res, err := RunTrial(cfg, seed("cap").Trial(0).Rand())
 	if err != nil {
 		t.Fatal(err)
@@ -248,7 +248,7 @@ func TestEscalatePolicyCostsAtLeastRetry(t *testing.T) {
 	sys := twoLevel(4, 360)
 	plan := planBoth(1, 3)
 	run := func(p RestartPolicy, name string) float64 {
-		camp := Campaign{Config: Config{System: sys, Plan: plan, Policy: p}, Trials: 200, Seed: seed(name)}
+		camp := Campaign{Scenario: Scenario{System: sys, Plan: plan, Policy: p}, Trials: 200, Seed: seed(name)}
 		res, err := camp.Run()
 		if err != nil {
 			t.Fatal(err)
@@ -264,9 +264,9 @@ func TestEscalatePolicyCostsAtLeastRetry(t *testing.T) {
 
 func TestCampaignDeterminism(t *testing.T) {
 	camp := Campaign{
-		Config: Config{System: twoLevel(15, 200), Plan: planBoth(2, 2)},
-		Trials: 50,
-		Seed:   seed("det"),
+		Scenario: Scenario{System: twoLevel(15, 200), Plan: planBoth(2, 2)},
+		Trials:   50,
+		Seed:     seed("det"),
 	}
 	camp.Workers = 1
 	a, err := camp.Run()
@@ -289,12 +289,12 @@ func TestCampaignDeterminism(t *testing.T) {
 }
 
 func TestCampaignSeedsDiffer(t *testing.T) {
-	cfg := Config{System: twoLevel(15, 200), Plan: planBoth(2, 2)}
-	a, err := Campaign{Config: cfg, Trials: 30, Seed: seed("s1")}.Run()
+	cfg := Scenario{System: twoLevel(15, 200), Plan: planBoth(2, 2)}
+	a, err := Campaign{Scenario: cfg, Trials: 30, Seed: seed("s1")}.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Campaign{Config: cfg, Trials: 30, Seed: seed("s2")}.Run()
+	b, err := Campaign{Scenario: cfg, Trials: 30, Seed: seed("s2")}.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,9 +313,9 @@ func TestCampaignSeedsDiffer(t *testing.T) {
 
 func TestBreakdownShareSumsToOne(t *testing.T) {
 	camp := Campaign{
-		Config: Config{System: twoLevel(8, 300), Plan: planBoth(1.5, 4)},
-		Trials: 100,
-		Seed:   seed("share"),
+		Scenario: Scenario{System: twoLevel(8, 300), Plan: planBoth(1.5, 4)},
+		Trials:   100,
+		Seed:     seed("share"),
 	}
 	res, err := camp.Run()
 	if err != nil {
@@ -335,8 +335,12 @@ func (c *collectObserver) Observe(e Event) { c.events = append(c.events, e) }
 
 func TestObserverStream(t *testing.T) {
 	obs := &collectObserver{}
-	cfg := Config{System: twoLevel(20, 60), Plan: planBoth(5, 1), Observer: obs}
-	res, err := RunTrial(cfg, seed("obs").Trial(3).Rand())
+	eng, err := NewEngine(Scenario{System: twoLevel(20, 60), Plan: planBoth(5, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Observe(obs)
+	res, err := eng.Run(seed("obs").Trial(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,8 +367,8 @@ func TestObserverStream(t *testing.T) {
 	}
 }
 
-func TestConfigValidation(t *testing.T) {
-	good := Config{System: twoLevel(10, 100), Plan: planBoth(1, 1)}
+func TestScenarioValidation(t *testing.T) {
+	good := Scenario{System: twoLevel(10, 100), Plan: planBoth(1, 1)}
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -386,13 +390,22 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := RunTrial(good, nil); err == nil {
 		t.Error("nil rng accepted")
 	}
-	if _, err := (Campaign{Config: good, Trials: 0}).Run(); err == nil {
+	if _, err := (Campaign{Scenario: good, Trials: 0}).Run(); err == nil {
 		t.Error("zero trials accepted")
 	}
-	withObs := good
-	withObs.Observer = &collectObserver{}
-	if _, err := (Campaign{Config: withObs, Trials: 2}).Run(); err == nil {
-		t.Error("campaign with observer accepted")
+}
+
+func TestCampaignWorkersValidation(t *testing.T) {
+	good := Scenario{System: twoLevel(10, 100), Plan: planBoth(1, 1)}
+	if _, err := (Campaign{Scenario: good, Trials: 2, Workers: -1, Seed: seed("w")}).Run(); err == nil {
+		t.Error("negative Workers accepted")
+	}
+	if _, err := (Campaign{Scenario: good, Trials: 2, Workers: 1 << 20, Seed: seed("w")}).Run(); err == nil {
+		t.Error("absurd Workers accepted")
+	}
+	// Workers above Trials is merely clamped, not an error.
+	if _, err := (Campaign{Scenario: good, Trials: 2, Workers: 16, Seed: seed("w")}).Run(); err != nil {
+		t.Errorf("Workers > Trials rejected: %v", err)
 	}
 }
 
@@ -409,7 +422,7 @@ func TestAsyncFlushFailureFreeArithmetic(t *testing.T) {
 	// Failure-free async run blocks only for the capture cost at top
 	// checkpoints: wall = T_B + (#L1 ckpts + #top captures)·δ1.
 	sys := twoLevel(1e15, 100)
-	cfg := Config{System: sys, Plan: planBoth(10, 1), AsyncTopFlush: true}
+	cfg := Scenario{System: sys, Plan: planBoth(10, 1), AsyncTopFlush: true}
 	res, err := RunTrial(cfg, seed("async-free").Trial(0).Rand())
 	if err != nil {
 		t.Fatal(err)
@@ -436,7 +449,7 @@ func TestAsyncFlushCommitsTopLevel(t *testing.T) {
 	sys := twoLevel(1e15, 1000) // failures injected manually below
 	plan := planBoth(10, 0)     // top checkpoint after every interval
 	ctl := &scriptedFailures{times: []float64{200}, severities: []int{2}}
-	cfg := Config{
+	cfg := Scenario{
 		System: sys, Plan: plan, AsyncTopFlush: true,
 		FailureLaws: ctl.laws(sys),
 	}
@@ -464,7 +477,7 @@ func TestAsyncFlushAbortedByQuickFailure(t *testing.T) {
 	sys.Levels[1].Restart = 50
 	plan := planBoth(10, 0)
 	ctl := &scriptedFailures{times: []float64{10.5}, severities: []int{2}}
-	cfg := Config{
+	cfg := Scenario{
 		System: sys, Plan: plan, AsyncTopFlush: true,
 		FailureLaws: ctl.laws(sys),
 	}
@@ -484,8 +497,8 @@ func TestAsyncBeatsSyncOnPFSHeavySystem(t *testing.T) {
 	plan := planBoth(3, 3)
 	run := func(async bool, name string) float64 {
 		camp := Campaign{
-			Config: Config{System: sys, Plan: plan, AsyncTopFlush: async},
-			Trials: 150, Seed: seed(name),
+			Scenario: Scenario{System: sys, Plan: plan, AsyncTopFlush: async},
+			Trials:   150, Seed: seed(name),
 		}
 		res, err := camp.Run()
 		if err != nil {
@@ -503,7 +516,7 @@ func TestAsyncBeatsSyncOnPFSHeavySystem(t *testing.T) {
 func TestAsyncIgnoredForSingleLevelPlan(t *testing.T) {
 	sys := twoLevel(30, 120)
 	plan := pattern.Plan{Tau0: 10, Levels: []int{2}}
-	cfg := Config{System: sys, Plan: plan, AsyncTopFlush: true}
+	cfg := Scenario{System: sys, Plan: plan, AsyncTopFlush: true}
 	res, err := RunTrial(cfg, seed("async-single").Trial(0).Rand())
 	if err != nil {
 		t.Fatal(err)
@@ -571,14 +584,24 @@ func (c *switchController) Replan(now, progress float64) (pattern.Plan, bool) {
 	return c.plan, true
 }
 
+// runControlled runs one trial of scn with ctl installed.
+func runControlled(t *testing.T, scn Scenario, ctl PlanController, s rng.Seed) (TrialResult, error) {
+	t.Helper()
+	eng, err := NewEngine(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Control(func() PlanController { return ctl })
+	return eng.Run(s.Trial(0))
+}
+
 func TestControllerPlanSwitchPreservesProgress(t *testing.T) {
 	sys := twoLevel(20, 300)
 	ctl := &switchController{
 		after: 3,
 		plan:  pattern.Plan{Tau0: 4, Counts: []int{1}, Levels: []int{1, 2}},
 	}
-	cfg := Config{System: sys, Plan: planBoth(2, 4), Controller: ctl}
-	res, err := RunTrial(cfg, seed("switch").Trial(0).Rand())
+	res, err := runControlled(t, Scenario{System: sys, Plan: planBoth(2, 4)}, ctl, seed("switch"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -601,8 +624,7 @@ func TestControllerSwitchToNarrowerLevelSet(t *testing.T) {
 		after: 2,
 		plan:  pattern.Plan{Tau0: 10, Levels: []int{2}},
 	}
-	cfg := Config{System: sys, Plan: planBoth(10, 0), Controller: ctl}
-	res, err := RunTrial(cfg, seed("narrow").Trial(0).Rand())
+	res, err := runControlled(t, Scenario{System: sys, Plan: planBoth(10, 0)}, ctl, seed("narrow"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -617,8 +639,12 @@ func TestControllerInvalidPlanAbortsTrial(t *testing.T) {
 		after: 1,
 		plan:  pattern.Plan{Tau0: -1, Levels: []int{1}},
 	}
-	cfg := Config{System: sys, Plan: planBoth(5, 1), Controller: ctl}
-	if _, err := RunTrial(cfg, seed("badswitch").Trial(0).Rand()); err == nil {
+	eng, err := NewEngine(Scenario{System: sys, Plan: planBoth(5, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Control(func() PlanController { return ctl })
+	if _, err := eng.Run(seed("badswitch").Trial(0)); err == nil {
 		t.Fatal("invalid controller plan accepted")
 	}
 }
@@ -632,8 +658,7 @@ func TestControllerSwitchCancelsPendingFlush(t *testing.T) {
 		after: 2,
 		plan:  planBoth(20, 1),
 	}
-	cfg := Config{System: sys, Plan: planBoth(10, 0), AsyncTopFlush: true, Controller: ctl}
-	res, err := RunTrial(cfg, seed("flushswitch").Trial(0).Rand())
+	res, err := runControlled(t, Scenario{System: sys, Plan: planBoth(10, 0), AsyncTopFlush: true}, ctl, seed("flushswitch"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -666,9 +691,9 @@ func TestCampaignObserverFactoryAndTrialDone(t *testing.T) {
 	var doneTrials int
 	var wallSum float64
 	camp := Campaign{
-		Config: Config{System: sys, Plan: planBoth(2, 3)},
-		Trials: 40,
-		Seed:   seed("hooks"),
+		Scenario: Scenario{System: sys, Plan: planBoth(2, 3)},
+		Trials:   40,
+		Seed:     seed("hooks"),
 		ObserverFactory: func(worker int) Observer {
 			o := &countingObserver{worker: worker}
 			mu.Lock()
@@ -713,9 +738,9 @@ func TestCampaignFactoryDeterminism(t *testing.T) {
 	// observer factory is installed or how many workers run.
 	sys := twoLevel(10, 100)
 	base := Campaign{
-		Config: Config{System: sys, Plan: planBoth(2, 3)},
-		Trials: 30,
-		Seed:   seed("det"),
+		Scenario: Scenario{System: sys, Plan: planBoth(2, 3)},
+		Trials:   30,
+		Seed:     seed("det"),
 	}
 	plain, err := base.Run()
 	if err != nil {
@@ -737,18 +762,6 @@ func TestCampaignFactoryDeterminism(t *testing.T) {
 	}
 }
 
-func TestCampaignRejectsDirectObserver(t *testing.T) {
-	sys := twoLevel(10, 100)
-	camp := Campaign{
-		Config: Config{System: sys, Plan: planBoth(2, 3), Observer: &countingObserver{}},
-		Trials: 2,
-		Seed:   seed("reject"),
-	}
-	if _, err := camp.Run(); err == nil {
-		t.Fatal("campaign accepted a shared per-config observer")
-	}
-}
-
 // failingController returns an invalid plan at the first replan
 // opportunity, which aborts its trial with an error.
 type failingController struct{}
@@ -766,15 +779,12 @@ func TestCampaignFailFast(t *testing.T) {
 	var made atomic.Int64
 	var done atomic.Int64
 	camp := Campaign{
-		Config: Config{
-			System: sys,
-			Plan:   planBoth(10, 1),
-			ControllerFactory: func() PlanController {
-				if made.Add(1) == 1 {
-					return failingController{}
-				}
-				return nil
-			},
+		Scenario: Scenario{System: sys, Plan: planBoth(10, 1)},
+		ControllerFactory: func() PlanController {
+			if made.Add(1) == 1 {
+				return failingController{}
+			}
+			return nil
 		},
 		Trials:    20000,
 		Workers:   4,

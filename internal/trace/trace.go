@@ -139,19 +139,19 @@ func (r *ReplaySampler) Remaining() int { return len(r.Draws) - r.next }
 // RecordFailures runs one trial with recording samplers installed for
 // every severity and returns the trial result together with replayable
 // samplers holding the recorded failure processes.
-func RecordFailures(cfg sim.Config, src *rand.Rand) (sim.TrialResult, []*ReplaySampler, error) {
-	if cfg.System == nil {
+func RecordFailures(scn sim.Scenario, src *rand.Rand) (sim.TrialResult, []*ReplaySampler, error) {
+	if scn.System == nil {
 		return sim.TrialResult{}, nil, errors.New("trace: nil system")
 	}
-	if err := cfg.Validate(); err != nil {
+	if err := scn.Validate(); err != nil {
 		return sim.TrialResult{}, nil, err
 	}
-	recs := make([]*RecordingSampler, cfg.System.NumLevels())
-	laws := make([]dist.Sampler, cfg.System.NumLevels())
-	for sev := 1; sev <= cfg.System.NumLevels(); sev++ {
-		rate := cfg.System.LevelRate(sev)
-		if len(cfg.FailureLaws) >= sev && cfg.FailureLaws[sev-1] != nil {
-			recs[sev-1] = &RecordingSampler{Inner: cfg.FailureLaws[sev-1]}
+	recs := make([]*RecordingSampler, scn.System.NumLevels())
+	laws := make([]dist.Sampler, scn.System.NumLevels())
+	for sev := 1; sev <= scn.System.NumLevels(); sev++ {
+		rate := scn.System.LevelRate(sev)
+		if len(scn.FailureLaws) >= sev && scn.FailureLaws[sev-1] != nil {
+			recs[sev-1] = &RecordingSampler{Inner: scn.FailureLaws[sev-1]}
 		} else if rate > 0 {
 			law, err := dist.NewExponential(rate)
 			if err != nil {
@@ -163,8 +163,8 @@ func RecordFailures(cfg sim.Config, src *rand.Rand) (sim.TrialResult, []*ReplayS
 			laws[sev-1] = recs[sev-1]
 		}
 	}
-	cfg.FailureLaws = laws
-	res, err := sim.RunTrial(cfg, src)
+	scn.FailureLaws = laws
+	res, err := sim.RunTrial(scn, src)
 	if err != nil {
 		return sim.TrialResult{}, nil, err
 	}
@@ -180,22 +180,22 @@ func RecordFailures(cfg sim.Config, src *rand.Rand) (sim.TrialResult, []*ReplayS
 }
 
 // ReplayFailures re-runs a scenario against previously recorded failure
-// processes. The plan or policy in cfg may differ from the recording
+// processes. The plan or policy in scn may differ from the recording
 // run; the failure arrivals stay identical as long as the replay is not
 // exhausted.
-func ReplayFailures(cfg sim.Config, replays []*ReplaySampler, src *rand.Rand) (sim.TrialResult, error) {
-	if cfg.System == nil {
+func ReplayFailures(scn sim.Scenario, replays []*ReplaySampler, src *rand.Rand) (sim.TrialResult, error) {
+	if scn.System == nil {
 		return sim.TrialResult{}, errors.New("trace: nil system")
 	}
-	if len(replays) != cfg.System.NumLevels() {
+	if len(replays) != scn.System.NumLevels() {
 		return sim.TrialResult{}, fmt.Errorf("trace: %d replay streams for %d severities",
-			len(replays), cfg.System.NumLevels())
+			len(replays), scn.System.NumLevels())
 	}
 	laws := make([]dist.Sampler, len(replays))
 	for i, r := range replays {
 		r.Rewind()
 		laws[i] = r
 	}
-	cfg.FailureLaws = laws
-	return sim.RunTrial(cfg, src)
+	scn.FailureLaws = laws
+	return sim.RunTrial(scn, src)
 }

@@ -12,8 +12,8 @@ import (
 	"repro/internal/system"
 )
 
-func cfg() sim.Config {
-	return sim.Config{
+func cfg() sim.Scenario {
+	return sim.Scenario{
 		System: &system.System{
 			Name: "trace", MTBF: 15, BaselineTime: 120,
 			Levels: []system.Level{
@@ -27,9 +27,12 @@ func cfg() sim.Config {
 
 func TestRecorderRoundTrip(t *testing.T) {
 	rec := &Recorder{}
-	c := cfg()
-	c.Observer = rec
-	res, err := sim.RunTrial(c, rng.Campaign(9, "trace").Trial(0).Rand())
+	eng, err := sim.NewEngine(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Observe(rec)
+	res, err := eng.Run(rng.Campaign(9, "trace").Trial(0))
 	if err != nil {
 		t.Fatal(err)
 	}
