@@ -5,6 +5,7 @@
 #   ./check.sh          full check
 #   ./check.sh bench    additionally run the sim benchmarks and write
 #                       BENCH_sim.json
+#   ./check.sh fuzz     additionally run each native fuzz target for 30s
 set -eu
 cd "$(dirname "$0")"
 
@@ -21,12 +22,24 @@ echo "== go build ./..."
 go build ./...
 echo "== go test ./..."
 go test ./...
-# The sim campaign runner, optimizer sweep, and observer pool are the
-# packages that share state across goroutines; run them (plus the repo
-# root, whose integration test drives them together) under the race
-# detector.
+# The sim campaign runner, optimizer sweep, observer pool, and the
+# conformance checker pool are the packages that share state across
+# goroutines; run them (plus the repo root, whose integration test
+# drives them together) under the race detector.
 echo "== go test -race (sim/optimize/obs/eventq shard)"
 go test -race ./internal/sim/ ./internal/optimize/ ./internal/obs/ ./internal/eventq/ .
+# The conformance suite is statistics-heavy; -short keeps the race pass
+# focused on the Pool/Campaign concurrency without the full sweeps.
+echo "== go test -race -short (conformance)"
+go test -race -short ./internal/conformance/
+
+if [ "${1:-}" = "fuzz" ]; then
+    # go test accepts exactly one fuzz target per invocation.
+    echo "== go test -fuzz (30s per target)"
+    go test -run XXX -fuzz '^FuzzEventq$' -fuzztime 30s ./internal/eventq/
+    go test -run XXX -fuzz '^FuzzEngineScenario$' -fuzztime 30s ./internal/conformance/
+    go test -run XXX -fuzz '^FuzzPatternPlan$' -fuzztime 30s ./internal/conformance/
+fi
 
 if [ "${1:-}" = "bench" ]; then
     echo "== go test -bench (sim engine, writes bench_sim.txt)"

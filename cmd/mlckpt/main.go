@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/conformance"
 	"repro/internal/faultlog"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -60,6 +61,7 @@ func run(args []string, stdout io.Writer) error {
 	techs := fs.String("techniques", "dauwe,di,moody,benoit,daly", "comma-separated techniques")
 	list := fs.Bool("list", false, "list registered techniques with their citations and exit")
 	trials := fs.Int("trials", 0, "also simulate each plan over this many trials")
+	check := fs.Bool("check", false, "run every simulated trial under the protocol-invariant checker (fails on any violation; results are bit-identical to unchecked runs)")
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	metricsPath := fs.String("metrics", "", "write a telemetry snapshot (JSON) of the optimizer sweeps and simulations to this file")
 	progress := fs.Bool("progress", false, "report trials/sec and ETA on stderr")
@@ -161,12 +163,33 @@ func run(args []string, stdout io.Writer) error {
 				pool = &obs.Pool{}
 				camp.ObserverFactory = pool.Observer
 			}
+			var ckPool *conformance.Pool
+			if *check {
+				ckPool, err = conformance.NewPool(camp.Scenario)
+				if err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+				metricsFactory := camp.ObserverFactory
+				camp.ObserverFactory = func(w int) sim.Observer {
+					if metricsFactory == nil {
+						return ckPool.Observer(w)
+					}
+					return obs.Multi(ckPool.Observer(w), metricsFactory(w))
+				}
+			}
 			if prog != nil {
 				camp.TrialDone = func(sim.TrialResult) { prog.Tick() }
 			}
 			res, err := camp.Run()
 			if err != nil {
 				return fmt.Errorf("%s: simulate: %w", name, err)
+			}
+			if ckPool != nil {
+				if err := ckPool.Err(); err != nil {
+					return fmt.Errorf("%s: conformance: %w", name, err)
+				}
+				fmt.Fprintf(stdout, "conformance[%s]: %d trials, %d events, all invariants held\n",
+					name, ckPool.Trials(), ckPool.Events())
 			}
 			if pool != nil {
 				m, err := pool.Merged()

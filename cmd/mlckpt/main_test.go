@@ -163,3 +163,47 @@ func TestMetricsSnapshot(t *testing.T) {
 			snap.Counter("opt_candidates_total"))
 	}
 }
+
+func TestCheckFlag(t *testing.T) {
+	var unchecked, checked bytes.Buffer
+	base := []string{"-system", "D4", "-techniques", "dauwe,moody", "-trials", "30", "-seed", "3"}
+	if err := run(base, &unchecked); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-check"}, base...), &checked); err != nil {
+		t.Fatal(err)
+	}
+	s := checked.String()
+	for _, want := range []string{"conformance[dauwe]", "conformance[moody]", "all invariants held"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("checked output missing %q:\n%s", want, s)
+		}
+	}
+	// The checker is a pure observer: stripping its report lines must
+	// leave byte-identical output.
+	var stripped strings.Builder
+	for _, line := range strings.SplitAfter(s, "\n") {
+		if !strings.HasPrefix(line, "conformance[") {
+			stripped.WriteString(line)
+		}
+	}
+	if stripped.String() != unchecked.String() {
+		t.Errorf("-check changed results:\n--- unchecked:\n%s--- checked (reports stripped):\n%s",
+			unchecked.String(), stripped.String())
+	}
+}
+
+func TestCheckFlagWithMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var out bytes.Buffer
+	err := run([]string{"-system", "D2", "-techniques", "daly", "-trials", "10", "-check", "-metrics", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("metrics snapshot not written alongside -check: %v", err)
+	}
+	if !strings.Contains(out.String(), "conformance[daly]: 10 trials") {
+		t.Errorf("conformance report missing:\n%s", out.String())
+	}
+}

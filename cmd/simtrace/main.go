@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/conformance"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/pattern"
@@ -44,6 +45,7 @@ func run(args []string, stdout io.Writer) error {
 	jsonPath := fs.String("json", "", "write the full event trace as JSON to this path")
 	maxEvents := fs.Int("print", 25, "print at most this many events to stdout")
 	summary := fs.Bool("summary", false, "print the per-trial phase-time breakdown table instead of the raw event stream")
+	check := fs.Bool("check", false, "verify the trial's event stream against the protocol invariants (fails on any violation)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,14 +89,30 @@ func run(args []string, stdout io.Writer) error {
 
 	rec := &trace.Recorder{}
 	metrics := obs.NewSimMetrics()
-	eng, err := sim.NewEngine(sim.Scenario{System: sys, Plan: plan})
+	scn := sim.Scenario{System: sys, Plan: plan}
+	eng, err := sim.NewEngine(scn)
 	if err != nil {
 		return err
 	}
-	eng.Observe(obs.Multi(rec, metrics))
+	observers := []sim.Observer{rec, metrics}
+	var checker *conformance.Checker
+	if *check {
+		checker, err = conformance.NewChecker(scn)
+		if err != nil {
+			return err
+		}
+		observers = append(observers, checker)
+	}
+	eng.Observe(obs.Multi(observers...))
 	res, err := eng.Run(rng.Campaign(*seed, "simtrace").Trial(0))
 	if err != nil {
 		return err
+	}
+	if checker != nil {
+		if err := checker.Err(); err != nil {
+			return fmt.Errorf("conformance: %w", err)
+		}
+		fmt.Fprintf(stdout, "conformance: %d events checked, all invariants held\n", checker.EventsChecked())
 	}
 
 	fmt.Fprintf(stdout, "system: %s\nplan:   %s\n", sys, plan)

@@ -96,3 +96,30 @@ func TestSummaryTable(t *testing.T) {
 		t.Errorf("-summary still printed the raw event listing:\n%s", s)
 	}
 }
+
+func TestCheckFlag(t *testing.T) {
+	var unchecked, checked bytes.Buffer
+	base := []string{"-system", "D4", "-tau0", "1.5", "-counts", "3", "-seed", "4", "-print", "3"}
+	if err := run(base, &unchecked); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-check"}, base...), &checked); err != nil {
+		t.Fatal(err)
+	}
+	s := checked.String()
+	if !strings.Contains(s, "all invariants held") {
+		t.Errorf("conformance report missing:\n%s", s)
+	}
+	// Everything but the conformance line is byte-identical: the checker
+	// observes without perturbing the trial.
+	var stripped strings.Builder
+	for _, line := range strings.SplitAfter(s, "\n") {
+		if !strings.HasPrefix(line, "conformance:") {
+			stripped.WriteString(line)
+		}
+	}
+	if stripped.String() != unchecked.String() {
+		t.Errorf("-check changed the trial:\n--- unchecked:\n%s--- checked (report stripped):\n%s",
+			unchecked.String(), stripped.String())
+	}
+}

@@ -1,0 +1,119 @@
+package conformance
+
+import (
+	"repro/internal/pattern"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+// This file decodes arbitrary byte strings into simulator inputs for the
+// package's fuzz targets. The decoders are total on "shaped" inputs —
+// GenScenario always produces a scenario that validates — while GenPlan
+// deliberately emits raw, possibly-invalid plans so pattern.Validate's
+// rejection paths get fuzzed too. Both are deterministic functions of
+// the input bytes, so fuzz crashes reproduce from the corpus file alone.
+
+// byteCursor consumes bytes from a fuzz input, yielding zero once
+// exhausted (so short inputs decode to small, degenerate-but-valid
+// structures instead of being rejected).
+type byteCursor struct {
+	b []byte
+	i int
+}
+
+func (c *byteCursor) next() byte {
+	if c.i >= len(c.b) {
+		return 0
+	}
+	v := c.b[c.i]
+	c.i++
+	return v
+}
+
+// rangeFloat maps one byte onto [lo, hi].
+func (c *byteCursor) rangeFloat(lo, hi float64) float64 {
+	return lo + (hi-lo)*float64(c.next())/255
+}
+
+// GenScenario decodes data into a valid simulation scenario: a system of
+// 1–4 levels with positive costs and a normalized severity mix, a plan
+// over a non-empty used-level subset, a restart policy, and the async
+// top-flush switch. The wall cap and τ0 bounds keep worst-case trials to
+// at most a few hundred thousand events, so fuzz iterations stay fast.
+// ok is false only if the decoded scenario fails validation (which would
+// itself be a finding — the decoder is constructed to always validate).
+func GenScenario(data []byte) (sim.Scenario, bool) {
+	c := &byteCursor{b: data}
+	levels := 1 + int(c.next()%4)
+	sys := &system.System{Name: "fuzz", Source: "fuzzgen", BaselineTime: c.rangeFloat(0.5, 30)}
+	weights := make([]float64, levels)
+	var wsum float64
+	for i := 0; i < levels; i++ {
+		sys.Levels = append(sys.Levels, system.Level{
+			Checkpoint: c.rangeFloat(0.01, 5),
+			Restart:    c.rangeFloat(0.01, 5),
+		})
+		weights[i] = float64(1 + c.next()%8)
+		wsum += weights[i]
+	}
+	for i := range sys.Levels {
+		sys.Levels[i].SeverityProb = weights[i] / wsum
+	}
+	sys.MTBF = c.rangeFloat(0.2, 100)
+
+	// Used-level subset from a bitmask; empty masks fall back to all.
+	mask := c.next()
+	var used []int
+	for l := 1; l <= levels; l++ {
+		if mask>>(l-1)&1 == 1 {
+			used = append(used, l)
+		}
+	}
+	if len(used) == 0 {
+		used = pattern.AllLevels(sys)
+	}
+	plan := pattern.Plan{Levels: used}
+	for i := 0; i < len(used)-1; i++ {
+		plan.Counts = append(plan.Counts, int(c.next()%5))
+	}
+	plan.Tau0 = c.rangeFloat(0.02, sys.BaselineTime)
+	if plan.Tau0 < 0.02 {
+		plan.Tau0 = 0.02
+	}
+
+	flags := c.next()
+	scn := sim.Scenario{
+		System:        sys,
+		Plan:          plan,
+		Policy:        sim.RestartPolicy(flags & 1),
+		AsyncTopFlush: flags&2 != 0,
+		MaxWallFactor: 3 + float64(c.next()%30),
+	}
+	return scn, scn.Validate() == nil
+}
+
+// GenPlan decodes data into a (system, plan) pair WITHOUT forcing the
+// plan to be valid: level lists may repeat, descend or overflow the
+// system, and counts may be large, so pattern.Plan.Validate's rejection
+// paths are exercised alongside the odometer arithmetic of accepted
+// plans. The system itself always validates.
+func GenPlan(data []byte) (*system.System, pattern.Plan) {
+	c := &byteCursor{b: data}
+	scn, _ := GenScenario(data)
+	// Re-derive a raw plan from a fresh read of the same bytes, offset
+	// so the plan shape decouples from the scenario fields.
+	for i := 0; i < 3; i++ {
+		c.next()
+	}
+	n := 1 + int(c.next()%6)
+	plan := pattern.Plan{}
+	for i := 0; i < n; i++ {
+		plan.Levels = append(plan.Levels, 1+int(c.next()%6))
+	}
+	nc := int(c.next() % 7)
+	for i := 0; i < nc; i++ {
+		plan.Counts = append(plan.Counts, int(c.next()%7))
+	}
+	plan.Tau0 = c.rangeFloat(-1, 10)
+	return scn.System, plan
+}

@@ -1,0 +1,170 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/system"
+)
+
+// scaleCosts returns a copy of sys with every level's checkpoint and
+// restart cost multiplied by k.
+func scaleCosts(sys *system.System, k float64) *system.System {
+	c := sys.Clone()
+	for i := range c.Levels {
+		c.Levels[i].Checkpoint *= k
+		c.Levels[i].Restart *= k
+	}
+	return c
+}
+
+// metamorphicSystems picks representative Table I systems spanning the
+// failure-rate range: the measured cluster, the 4-level BG/Q machine,
+// and a failure-heavy projection.
+func metamorphicSystems(t *testing.T) []*system.System {
+	t.Helper()
+	names := []string{"M", "B", "D5"}
+	if testing.Short() {
+		names = []string{"M", "D5"} // skip the 4-level machine's pricier optimizations
+	}
+	var out []*system.System
+	for _, name := range names {
+		s, err := system.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestModelLawEfficiencyApproachesOneAsMTBFGrows: with failures pushed
+// out to effectively never, every technique's optimized plan must be
+// predicted to run at essentially baseline speed — checkpoint overhead
+// alone cannot hold efficiency down once the optimizer is free to
+// stretch intervals. This is the paper's limiting regime in which all
+// five models must agree.
+func TestModelLawEfficiencyApproachesOneAsMTBFGrows(t *testing.T) {
+	for _, name := range PaperTechniques {
+		tech, err := model.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sys := range metamorphicSystems(t) {
+			reliable := sys.WithMTBF(sys.MTBF * 1e7)
+			_, pred, err := tech.Optimize(reliable)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, reliable.Name, err)
+			}
+			if pred.Efficiency < 0.98 {
+				t.Errorf("%s on %s: efficiency %.4f, want >= 0.98 in the reliable limit",
+					name, reliable.Name, pred.Efficiency)
+			}
+			if pred.Efficiency > 1+1e-9 {
+				t.Errorf("%s on %s: efficiency %.6f exceeds 1", name, reliable.Name, pred.Efficiency)
+			}
+		}
+	}
+}
+
+// TestModelLawEfficiencyApproachesOneAsCostsVanish: with near-free
+// checkpoints and restarts the optimizer can checkpoint almost
+// continuously, so failures cost almost nothing to recover from and
+// predicted efficiency must again approach 1 — for every technique, on
+// every representative system.
+func TestModelLawEfficiencyApproachesOneAsCostsVanish(t *testing.T) {
+	for _, name := range PaperTechniques {
+		tech, err := model.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sys := range metamorphicSystems(t) {
+			cheap := scaleCosts(sys, 1e-6)
+			_, pred, err := tech.Optimize(cheap)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, sys.Name, err)
+			}
+			if pred.Efficiency < 0.98 {
+				t.Errorf("%s on %s with 1e-6 costs: efficiency %.4f, want >= 0.98",
+					name, sys.Name, pred.Efficiency)
+			}
+		}
+	}
+}
+
+// TestModelLawPredictedTimeMonotoneInBaseline: for a FIXED plan, a
+// strictly longer application can never be predicted to finish sooner —
+// expected time is monotone non-decreasing in T_B, and always at least
+// T_B itself (a resilience scheme cannot beat failure-free bare
+// execution).
+func TestModelLawPredictedTimeMonotoneInBaseline(t *testing.T) {
+	multipliers := []float64{1, 1.5, 2, 4, 8}
+	for _, name := range PaperTechniques {
+		tech, err := model.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sys := range metamorphicSystems(t) {
+			plan, _, err := tech.Optimize(sys)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, sys.Name, err)
+			}
+			prev := 0.0
+			for _, k := range multipliers {
+				scaled := sys.WithBaseline(sys.BaselineTime * k)
+				pred, err := tech.Predict(scaled, plan)
+				if err != nil {
+					t.Fatalf("%s on %s x%g: %v", name, sys.Name, k, err)
+				}
+				if pred.ExpectedTime < scaled.BaselineTime {
+					t.Errorf("%s on %s x%g: predicted %.4g min beats the failure-free baseline %.4g",
+						name, sys.Name, k, pred.ExpectedTime, scaled.BaselineTime)
+				}
+				if pred.ExpectedTime < prev {
+					t.Errorf("%s on %s: predicted time fell from %.6g to %.6g as T_B grew x%g",
+						name, sys.Name, prev, pred.ExpectedTime, k)
+				}
+				prev = pred.ExpectedTime
+			}
+		}
+	}
+}
+
+// TestModelLawSlowerIsNeverBetter: degrading the system — shorter MTBF
+// or costlier top level — can never raise a technique's optimized
+// efficiency. (Each optimizer sees both configurations; the better
+// system's optimum is always available to it in spirit, so a higher
+// prediction on the worse system means the model's failure accounting is
+// inconsistent.)
+func TestModelLawSlowerIsNeverBetter(t *testing.T) {
+	const slack = 1e-9
+	for _, name := range PaperTechniques {
+		tech, err := model.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sys := range metamorphicSystems(t) {
+			_, base, err := tech.Optimize(sys)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, sys.Name, err)
+			}
+			_, flaky, err := tech.Optimize(sys.WithMTBF(sys.MTBF / 4))
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, sys.Name, err)
+			}
+			if flaky.Efficiency > base.Efficiency+slack {
+				t.Errorf("%s on %s: quartering MTBF raised efficiency %.6f -> %.6f",
+					name, sys.Name, base.Efficiency, flaky.Efficiency)
+			}
+			top := sys.Levels[len(sys.Levels)-1].Checkpoint
+			_, costly, err := tech.Optimize(sys.WithTopCost(top * 4))
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, sys.Name, err)
+			}
+			if costly.Efficiency > base.Efficiency+slack {
+				t.Errorf("%s on %s: quadrupling the top cost raised efficiency %.6f -> %.6f",
+					name, sys.Name, base.Efficiency, costly.Efficiency)
+			}
+		}
+	}
+}

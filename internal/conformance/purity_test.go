@@ -1,0 +1,119 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+// TestCheckedRunsAreBitwiseIdentical pins the observer-purity contract:
+// attaching the invariant checker must not perturb the simulation in any
+// way — every per-trial float of a checked campaign is bit-for-bit the
+// float of the unchecked campaign. (The engine guarantees observers
+// cannot feed back into trial state; this test would catch a checker
+// that broke that, e.g. by mutating a shared slice from an event.)
+func TestCheckedRunsAreBitwiseIdentical(t *testing.T) {
+	trials := 48
+	if testing.Short() {
+		trials = 16
+	}
+	for _, scn := range scenarioMatrix(t)[:6] {
+		base := sim.Campaign{
+			Scenario: scn,
+			Trials:   trials,
+			Workers:  4,
+			Seed:     rng.Campaign(31, "purity").Scenario(scn.Plan.String()),
+		}
+		plain, err := base.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked := base
+		pool, err := NewPool(scn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked.ObserverFactory = pool.Observer
+		got, err := checked.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Err(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range plain.Efficiencies {
+			if got.Efficiencies[i] != plain.Efficiencies[i] {
+				t.Fatalf("plan %v trial %d: checked efficiency %v != unchecked %v",
+					scn.Plan, i, got.Efficiencies[i], plain.Efficiencies[i])
+			}
+		}
+		if got.Efficiency != plain.Efficiency || got.WallTime != plain.WallTime {
+			t.Errorf("plan %v: checked summaries differ from unchecked", scn.Plan)
+		}
+		if got.MeanBreakdown != plain.MeanBreakdown {
+			t.Errorf("plan %v: checked breakdown %+v != unchecked %+v",
+				scn.Plan, got.MeanBreakdown, plain.MeanBreakdown)
+		}
+		if got.Completed != plain.Completed || got.MeanScratchRestarts != plain.MeanScratchRestarts {
+			t.Errorf("plan %v: checked counters differ from unchecked", scn.Plan)
+		}
+	}
+}
+
+// TestCheckedTrialBitwiseIdentical is the single-engine form: the same
+// trial run with and without the checker yields an identical
+// TrialResult.
+func TestCheckedTrialBitwiseIdentical(t *testing.T) {
+	sys, err := system.ByName("D6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn := scenarioMatrix(t)[0]
+	scn.System = sys
+	run := func(attach bool) []sim.TrialResult {
+		eng, err := sim.NewEngine(scn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach {
+			ck, err := NewChecker(scn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.Observe(ck)
+			defer func() {
+				if err := ck.Err(); err != nil {
+					t.Fatal(err)
+				}
+			}()
+		}
+		seed := rng.Campaign(37, "purity-single")
+		out := make([]sim.TrialResult, 16)
+		for i := range out {
+			r, err := eng.Run(seed.Trial(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Failures = append([]int(nil), r.Failures...) // engine reuses the slice
+			out[i] = r
+		}
+		return out
+	}
+	plain := run(false)
+	checked := run(true)
+	for i := range plain {
+		p, c := plain[i], checked[i]
+		if p.WallTime != c.WallTime || p.Efficiency != c.Efficiency ||
+			p.Progress != c.Progress || p.Completed != c.Completed ||
+			p.Breakdown != c.Breakdown || p.ScratchRestarts != c.ScratchRestarts {
+			t.Fatalf("trial %d: checked result %+v != unchecked %+v", i, c, p)
+		}
+		for s := range p.Failures {
+			if p.Failures[s] != c.Failures[s] {
+				t.Fatalf("trial %d: failure counts differ", i)
+			}
+		}
+	}
+}

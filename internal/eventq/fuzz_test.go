@@ -1,0 +1,164 @@
+package eventq
+
+import "testing"
+
+// refQueue is a deliberately naive reference implementation: an append
+// slice with linear-scan minimum by (time, insertion order). The fuzz
+// target below checks the heap-and-arena Queue against it operation by
+// operation.
+type refQueue struct {
+	entries []refEntry
+	seq     uint64
+}
+
+type refEntry struct {
+	ev   Event
+	seq  uint64
+	live bool
+}
+
+func (r *refQueue) schedule(t float64, kind, data int) int {
+	r.entries = append(r.entries, refEntry{ev: Event{Time: t, Kind: kind, Data: data}, seq: r.seq, live: true})
+	r.seq++
+	return len(r.entries) - 1
+}
+
+func (r *refQueue) len() int {
+	n := 0
+	for _, e := range r.entries {
+		if e.live {
+			n++
+		}
+	}
+	return n
+}
+
+// min returns the index of the earliest live entry, or -1.
+func (r *refQueue) min() int {
+	best := -1
+	for i, e := range r.entries {
+		if !e.live {
+			continue
+		}
+		if best < 0 || e.ev.Time < r.entries[best].ev.Time ||
+			(e.ev.Time == r.entries[best].ev.Time && e.seq < r.entries[best].seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+func (r *refQueue) pop() (Event, bool) {
+	i := r.min()
+	if i < 0 {
+		return Event{}, false
+	}
+	r.entries[i].live = false
+	return r.entries[i].ev, true
+}
+
+func (r *refQueue) cancel(i int) bool {
+	if i < 0 || i >= len(r.entries) || !r.entries[i].live {
+		return false
+	}
+	r.entries[i].live = false
+	return true
+}
+
+func (r *refQueue) reset() {
+	for i := range r.entries {
+		r.entries[i].live = false
+	}
+}
+
+// FuzzEventq drives Queue and refQueue through the same byte-decoded
+// operation sequence (schedule with clustered timestamps to force
+// tie-breaks, pop, cancel — including double-cancel of dead handles —
+// and occasional reset), comparing Len/Peek/Pop results at every step
+// and the full drain order at the end.
+func FuzzEventq(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 10, 0, 10, 0, 10, 1, 1, 1}) // equal-time FIFO chain
+	f.Add([]byte{0, 5, 0, 5, 2, 0, 0, 7, 2, 1, 1, 3, 0, 9, 1})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 3, 0, 4, 0, 5, 1, 2, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q Queue
+		ref := &refQueue{}
+		type live struct {
+			h   Handle
+			ref int
+		}
+		var handles []live // parallel (Queue handle, ref index); never pruned so stale entries test dead handles
+		i := 0
+		next := func() byte {
+			if i >= len(data) {
+				return 0
+			}
+			v := data[i]
+			i++
+			return v
+		}
+		for i < len(data) {
+			op := next()
+			switch op % 5 {
+			case 0, 1: // schedule: cluster times on a coarse grid to force ties
+				tm := float64(next()%16) / 4
+				kind := int(op)
+				h := q.Schedule(tm, kind, i)
+				handles = append(handles, live{h: h, ref: ref.schedule(tm, kind, i)})
+			case 2: // pop
+				ev, err := q.Pop()
+				rev, ok := ref.pop()
+				if (err == nil) != ok {
+					t.Fatalf("op %d: Pop err=%v, reference ok=%v", i, err, ok)
+				}
+				if ok && ev != rev {
+					t.Fatalf("op %d: Pop %+v, reference %+v", i, ev, rev)
+				}
+			case 3: // cancel an arbitrary handle, live or dead
+				if len(handles) == 0 {
+					continue
+				}
+				j := int(next()) % len(handles)
+				got := q.Cancel(handles[j].h)
+				want := ref.cancel(handles[j].ref)
+				if got != want {
+					t.Fatalf("op %d: Cancel(handle %d) = %v, reference %v", i, j, got, want)
+				}
+			case 4: // reset, rarely (keeps sequences mostly non-trivial)
+				if next()%8 == 0 {
+					q.Reset()
+					ref.reset()
+					// All outstanding handles are now dead in both queues;
+					// keep them around to check stale-handle Cancel.
+				}
+			}
+			if q.Len() != ref.len() {
+				t.Fatalf("op %d: Len %d, reference %d", i, q.Len(), ref.len())
+			}
+			pev, pok := q.Peek()
+			if rmin := ref.min(); pok != (rmin >= 0) {
+				t.Fatalf("op %d: Peek ok=%v, reference %v", i, pok, rmin >= 0)
+			} else if pok && pev != ref.entries[rmin].ev {
+				t.Fatalf("op %d: Peek %+v, reference %+v", i, pev, ref.entries[rmin].ev)
+			}
+		}
+		// Drain both completely: total order must match.
+		for {
+			ev, err := q.Pop()
+			rev, ok := ref.pop()
+			if (err == nil) != ok {
+				t.Fatalf("drain: Pop err=%v, reference ok=%v", err, ok)
+			}
+			if !ok {
+				break
+			}
+			if ev != rev {
+				t.Fatalf("drain: Pop %+v, reference %+v", ev, rev)
+			}
+		}
+		if _, err := q.Pop(); err != ErrEmpty {
+			t.Fatalf("empty Pop returned %v, want ErrEmpty", err)
+		}
+	})
+}

@@ -111,11 +111,38 @@ func (c Campaign) Run() (CampaignResult, error) {
 	// Engines return their Failures slice as reusable scratch; each
 	// trial's counts are copied into one flat campaign-owned buffer.
 	failBuf := make([]int, c.Trials*L)
-	errs := make([]error, workers)
-	// A failed trial poisons the whole campaign, so the first error
-	// cancels the remaining trials on every worker instead of letting
-	// them burn through the full campaign before Run can report it.
-	var failed atomic.Bool
+	// A failed trial poisons the whole campaign, so it cancels the
+	// remaining trials on every worker instead of letting them burn
+	// through the full campaign before Run can report it. Cancellation is
+	// by trial index, not a plain flag: firstBad holds the lowest failing
+	// trial seen so far, and a worker skips trial i only when some trial
+	// BELOW i has failed. The worker owning the globally lowest failing
+	// trial k therefore always reaches and records k (its earlier trials
+	// precede k and cannot be cancelled by errors at or above k), so the
+	// error Run returns is the error of the lowest-index failing trial —
+	// deterministic for a given Seed regardless of Workers or scheduling.
+	const noFailure = int64(1<<63 - 1)
+	var firstBad atomic.Int64
+	firstBad.Store(noFailure)
+	type trialError struct {
+		trial int
+		err   error
+	}
+	var (
+		errMu    sync.Mutex
+		failures []trialError
+	)
+	record := func(trial int, err error) {
+		for {
+			cur := firstBad.Load()
+			if int64(trial) >= cur || firstBad.CompareAndSwap(cur, int64(trial)) {
+				break
+			}
+		}
+		errMu.Lock()
+		failures = append(failures, trialError{trial: trial, err: err})
+		errMu.Unlock()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -127,21 +154,21 @@ func (c Campaign) Run() (CampaignResult, error) {
 			}
 			eng, err := NewEngine(c.Scenario)
 			if err != nil {
-				errs[w] = err
-				failed.Store(true)
+				// Attribute construction errors to the worker's first
+				// trial so they order deterministically with trial errors.
+				record(w, err)
 				return
 			}
 			eng.Observe(obs)
 			eng.Control(c.ControllerFactory)
 			for i := w; i < c.Trials; i += workers {
-				if failed.Load() {
+				if firstBad.Load() < int64(i) {
 					return
 				}
 				if c.noEngineReuse {
 					eng, err = NewEngine(c.Scenario)
 					if err != nil {
-						errs[w] = err
-						failed.Store(true)
+						record(i, err)
 						return
 					}
 					eng.Observe(obs)
@@ -149,8 +176,7 @@ func (c Campaign) Run() (CampaignResult, error) {
 				}
 				r, err := eng.Run(c.Seed.Trial(i))
 				if err != nil {
-					errs[w] = fmt.Errorf("trial %d: %w", i, err)
-					failed.Store(true)
+					record(i, fmt.Errorf("trial %d: %w", i, err))
 					return
 				}
 				fails := failBuf[i*L : (i+1)*L]
@@ -164,10 +190,14 @@ func (c Campaign) Run() (CampaignResult, error) {
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return CampaignResult{}, err
+	if len(failures) > 0 {
+		first := failures[0]
+		for _, f := range failures[1:] {
+			if f.trial < first.trial {
+				first = f
+			}
 		}
+		return CampaignResult{}, first.err
 	}
 
 	out := CampaignResult{Trials: c.Trials}

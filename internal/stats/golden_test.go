@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// The reference values in this file were produced by an independent
+// implementation: direct adaptive-Simpson integration of the Student-t
+// density (via the log-gamma function), with quantiles by bisection on
+// the integrated CDF. The package computes the same quantities through
+// the regularized-incomplete-beta continued fraction, so agreement to
+// ~1e-6 is a genuine cross-check, not a tautology. Spot values (e.g.
+// t_{0.975,9} = 2.2622, t_{0.975,1} = 12.7062) also match standard
+// t-tables.
+
+func closeRel(got, want, rel, abs float64) bool {
+	return math.Abs(got-want) <= rel*math.Abs(want)+abs
+}
+
+func TestWelchTGolden(t *testing.T) {
+	cases := []struct {
+		name     string
+		a, b     []float64
+		t, df, p float64
+	}{
+		// Equal variances, shift of one pooled stderr: t and df are
+		// analytically exact (t = -1, df = 8).
+		{"symmetric-shift", []float64{1, 2, 3, 4, 5}, []float64{2, 3, 4, 5, 6},
+			-1, 8, 0.346593507087},
+		{"unequal-variance", []float64{1.1, 2.3, 3.1, 4.8}, []float64{10, 11, 9, 12, 13},
+			-7.78645000169, 6.62445427592, 0.000143950978187},
+		{"near-identical", []float64{0.62, 0.61, 0.63, 0.60, 0.62, 0.615},
+			[]float64{0.618, 0.612, 0.628, 0.605, 0.622, 0.617},
+			-0.220896040582, 9.43473385347, 0.829880086011},
+		// n=2 vs n=2: the Welch–Satterthwaite df drops below 2.
+		{"tiny-n", []float64{3, 4}, []float64{1, 1.5},
+			4.0249223595, 1.47058823529, 0.0917102936366},
+		// Separation of ~100 sigma: deep-tail p-value.
+		{"big-separation", []float64{10.2, 10.3, 10.1, 10.25}, []float64{2.1, 2.2, 2.0, 2.15},
+			134.148744736, 6, 1.15718837124e-11},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := WelchT(Of(tc.a), Of(tc.b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !closeRel(r.T, tc.t, 1e-9, 1e-12) {
+				t.Errorf("T = %.12g, want %.12g", r.T, tc.t)
+			}
+			if !closeRel(r.DF, tc.df, 1e-9, 1e-12) {
+				t.Errorf("DF = %.12g, want %.12g", r.DF, tc.df)
+			}
+			if !closeRel(r.P, tc.p, 1e-5, 1e-15) {
+				t.Errorf("P = %.12g, want %.12g", r.P, tc.p)
+			}
+		})
+	}
+}
+
+func TestStudentTQuantileGolden(t *testing.T) {
+	cases := []struct{ p, df, want float64 }{
+		{0.975, 9, 2.2621571628},
+		{0.95, 4, 2.13184678633},
+		{0.975, 1, 12.7062045737}, // Cauchy: the heaviest tail the CI path sees
+		{0.995, 29, 2.75638590367},
+		{0.975, 63, 1.99834054252},
+		{0.9, 2.5, 1.73025092881}, // fractional df, as Welch produces
+		{0.75, 7, 0.711141778082},
+	}
+	for _, tc := range cases {
+		got, err := StudentTQuantile(tc.p, tc.df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !closeRel(got, tc.want, 1e-7, 1e-10) {
+			t.Errorf("StudentTQuantile(%v, %v) = %.12g, want %.12g", tc.p, tc.df, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileGolden(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6} // sorted: 1 1 2 3 4 5 6 9
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 9}, {0.5, 3.5}, {0.25, 1.75}, {0.9, 6.9},
+	}
+	for _, tc := range cases {
+		got, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// xs must not be reordered by the call.
+	if xs[0] != 3 || xs[5] != 9 {
+		t.Error("Quantile mutated its input")
+	}
+	// Singleton: every quantile is the single element.
+	for _, q := range []float64{0, 0.3, 1} {
+		got, err := Quantile([]float64{7.5}, q)
+		if err != nil || got != 7.5 {
+			t.Errorf("singleton Quantile(%v) = %v, %v", q, got, err)
+		}
+	}
+}
+
+// TestGoldenEdgeCases pins the degenerate paths: empty/singleton inputs
+// and constant samples must produce typed errors or the documented
+// conventional values, never NaN.
+func TestGoldenEdgeCases(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("empty Quantile: %v, want ErrTooFewSamples", err)
+	}
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := Quantile([]float64{1, 2}, q); err == nil {
+			t.Errorf("Quantile accepted q=%v", q)
+		}
+	}
+
+	var one Sample
+	one.Add(42)
+	if _, err := one.CI(0.95); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("n=1 CI: %v, want ErrTooFewSamples", err)
+	}
+	var two Sample
+	two.AddAll([]float64{1, 3})
+	// n=2: half-width = t_{0.975,1} x stderr = 12.7062 x 1.
+	ci, err := two.CI(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !closeRel(ci, 12.7062045737, 1e-7, 1e-10) {
+		t.Errorf("n=2 CI half-width %v, want 12.7062", ci)
+	}
+
+	if _, err := WelchT(Of([]float64{1}), Of([]float64{1, 2})); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("n=1 WelchT: %v, want ErrTooFewSamples", err)
+	}
+	// Identical constant samples: conventionally not different.
+	r, err := WelchT(Of([]float64{5, 5, 5}), Of([]float64{5, 5, 5}))
+	if err != nil || r.P != 1 || r.T != 0 {
+		t.Errorf("equal constants: %+v, %v; want T=0 P=1", r, err)
+	}
+	// Distinct constant samples: infinitely significant, signed toward a.
+	r, err = WelchT(Of([]float64{5, 5}), Of([]float64{3, 3}))
+	if err != nil || r.P != 0 || !math.IsInf(r.T, 1) {
+		t.Errorf("distinct constants: %+v, %v; want T=+Inf P=0", r, err)
+	}
+	r, err = WelchT(Of([]float64{3, 3}), Of([]float64{5, 5}))
+	if err != nil || r.P != 0 || !math.IsInf(r.T, -1) {
+		t.Errorf("distinct constants reversed: %+v, %v; want T=-Inf P=0", r, err)
+	}
+
+	sig, err := SignificantlyGreater(Of([]float64{5, 5}), Of([]float64{3, 3}), 0.95)
+	if err != nil || !sig {
+		t.Errorf("constant 5s vs 3s not significantly greater: %v, %v", sig, err)
+	}
+	sig, err = SignificantlyGreater(Of([]float64{3, 3}), Of([]float64{5, 5}), 0.95)
+	if err != nil || sig {
+		t.Errorf("constant 3s vs 5s reported significantly greater")
+	}
+}

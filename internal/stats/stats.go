@@ -161,7 +161,7 @@ func Quantile(xs []float64, q float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrTooFewSamples
 	}
-	if q < 0 || q > 1 {
+	if !(q >= 0 && q <= 1) { // negated so NaN is rejected too
 		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
 	}
 	sorted := append([]float64(nil), xs...)
