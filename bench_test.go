@@ -20,6 +20,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/system"
+	"repro/internal/trace"
 )
 
 // benchOpts shrinks an experiment to benchmark scale.
@@ -381,6 +382,45 @@ func BenchmarkCampaignD7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := camp.Run(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignD7Instrumented is BenchmarkCampaignD7 with the full
+// introspection stack attached — per-worker trial spans and the flight
+// recorder ring — to measure the tracing-on overhead the observability
+// layer adds to a campaign (see BENCH_obs.json for the recorded
+// before/after figures).
+func BenchmarkCampaignD7Instrumented(b *testing.B) {
+	sys, err := system.ByName("D7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scn := sim.Scenario{
+		System: sys,
+		Plan:   pattern.Plan{Tau0: 1.3, Counts: []int{3}, Levels: []int{1, 2}},
+	}
+	seed := rng.Campaign(1, "bench-campaign").Scenario("D7")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tracers := &obs.TracerPool{}
+		flight := &trace.FlightPool{}
+		camp := sim.Campaign{
+			Scenario: scn,
+			Trials:   200,
+			Seed:     seed,
+			ObserverFactory: func(w int) sim.Observer {
+				return obs.Multi(obs.TrialSpans(tracers.Shard()), flight.Observer(w))
+			},
+			TrialStart: flight.TrialStart,
+		}
+		if _, err := camp.Run(); err != nil {
+			b.Fatal(err)
+		}
+		snap := tracers.Merged().Snapshot()
+		if len(snap) != 1 || snap[0].Count != 200 {
+			b.Fatalf("span shards lost trials: %+v", snap)
 		}
 	}
 }

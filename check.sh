@@ -6,8 +6,55 @@
 #   ./check.sh bench    additionally run the sim benchmarks and write
 #                       BENCH_sim.json
 #   ./check.sh fuzz     additionally run each native fuzz target for 30s
+#   ./check.sh smoke    only the live-telemetry smoke: serve mlckpt
+#                       -listen, scrape /metrics + /snapshot mid-run,
+#                       assert exposition-format and JSON validity
 set -eu
 cd "$(dirname "$0")"
+
+# smoke: build mlckpt, run a long campaign behind -listen, and scrape
+# the live endpoints while trials are still streaming. Asserts that
+# /metrics parses as Prometheus text exposition (every non-comment line
+# is `name{labels} value`) and that /snapshot is valid JSON.
+if [ "${1:-}" = "smoke" ]; then
+    echo "== telemetry smoke (mlckpt -listen)"
+    tmp=$(mktemp -d)
+    trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+    go build -o "$tmp/mlckpt" ./cmd/mlckpt
+    port=9137
+    "$tmp/mlckpt" -system D7 -techniques daly -trials 2000000 \
+        -listen "127.0.0.1:$port" >"$tmp/stdout.log" 2>"$tmp/server.log" &
+    pid=$!
+    ok=""
+    for _ in $(seq 1 100); do
+        # Retry until the live trial stats have real observations —
+        # proves trials were still streaming into the StreamSet when we
+        # scraped, not just that the stat name was registered.
+        if curl -fsS "http://127.0.0.1:$port/metrics" -o "$tmp/metrics.txt" 2>/dev/null &&
+            awk '$1 == "trial_efficiency_count" && $2 > 0 { ok = 1 }
+                 END { exit !ok }' "$tmp/metrics.txt"; then
+            ok=1
+            break
+        fi
+        sleep 0.2
+    done
+    if [ -z "$ok" ]; then
+        echo "mlckpt -listen never served live metrics" >&2
+        cat "$tmp/server.log" >&2
+        exit 1
+    fi
+    curl -fsS "http://127.0.0.1:$port/snapshot" -o "$tmp/snapshot.json"
+    kill "$pid" 2>/dev/null || true
+    awk '/^#/ || NF == 0 { next }
+         NF != 2 || $1 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})?$/ {
+             print "unparseable exposition line: " $0; bad = 1
+         }
+         END { exit bad }' "$tmp/metrics.txt"
+    python3 -m json.tool "$tmp/snapshot.json" >/dev/null
+    echo "metrics: $(grep -c . "$tmp/metrics.txt") lines, Prometheus-parseable; snapshot: valid JSON"
+    echo "OK"
+    exit 0
+fi
 
 echo "== gofmt -l ."
 unformatted=$(gofmt -l .)

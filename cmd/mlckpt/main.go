@@ -28,10 +28,12 @@ import (
 	"repro/internal/faultlog"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/obshttp"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/system"
+	"repro/internal/trace"
 
 	_ "repro/internal/model/benoit"
 	_ "repro/internal/model/daly"
@@ -65,6 +67,10 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	metricsPath := fs.String("metrics", "", "write a telemetry snapshot (JSON) of the optimizer sweeps and simulations to this file")
 	progress := fs.Bool("progress", false, "report trials/sec and ETA on stderr")
+	progressInterval := fs.Duration("progress-interval", 0, "minimum time between -progress lines (0 = default 500ms, negative = every tick)")
+	listen := fs.String("listen", "", "serve live telemetry over HTTP on this address (/metrics, /snapshot, /spans, /flight, /debug/pprof/)")
+	traceSummary := fs.Bool("trace-summary", false, "print the hierarchical span time breakdown after the run")
+	flightPath := fs.String("flight", "", "write the trial flight-recorder dump (recent + anomalous event streams) to this file; read it back with simtrace -flight")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -121,13 +127,46 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	var sink *obs.SimMetrics
-	if *metricsPath != "" {
+	if *metricsPath != "" || *listen != "" {
 		sink = obs.NewSimMetrics()
 	}
+	// Spans are recorded whenever something can show them: the summary
+	// table, the /spans endpoint, or the -metrics snapshot.
+	var tracer *obs.Tracer
+	if *traceSummary || *listen != "" || *metricsPath != "" {
+		tracer = obs.NewTracer()
+	}
+	flightOn := *flightPath != "" || *listen != ""
+	var flightStreams []trace.FlightStream
 	var prog *obs.Progress
 	if *progress {
 		prog = obs.NewProgress(os.Stderr, "mlckpt", int64(len(techNames)**trials))
+		if *progressInterval != 0 {
+			prog.SetInterval(*progressInterval)
+		}
 		defer prog.Finish()
+	}
+	var live *obshttp.Live
+	var stats *obs.StreamSet
+	if *listen != "" {
+		live = obshttp.NewLive()
+		stats = live.Stats
+		if flightOn {
+			// Publish an empty dump so /flight serves from the start.
+			if err := live.PublishFlight(func(w io.Writer) error {
+				return trace.WriteFlight(w, nil)
+			}); err != nil {
+				return err
+			}
+		}
+		srv, err := obshttp.Serve(*listen, live.Options())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mlckpt: telemetry on http://%s/metrics (also /snapshot, /spans, /flight, /debug/pprof/)\n", srv.Addr())
+	} else if sink != nil {
+		stats = obs.NewStreamSet()
 	}
 
 	tab := report.NewTable("technique", "levels", "plan", "predicted eff", "sim eff (mean±σ)")
@@ -147,7 +186,18 @@ func run(args []string, stdout io.Writer) error {
 				m.SetSweepMetrics(sink.Registry())
 			}
 		}
+		cellSpan := tracer.Start("cell")
+		var sweepSpans *obs.Tracer
+		if tracer != nil {
+			if s, ok := tech.(interface{ SetSweepSpans(*obs.Tracer) }); ok {
+				sweepSpans = obs.NewTracer()
+				s.SetSweepSpans(sweepSpans)
+			}
+		}
+		optSpan := tracer.Start("optimize")
 		plan, pred, err := tech.Optimize(sys)
+		optSpan.End()
+		optSpan.Adopt(sweepSpans)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -161,7 +211,6 @@ func run(args []string, stdout io.Writer) error {
 			var pool *obs.Pool
 			if sink != nil {
 				pool = &obs.Pool{}
-				camp.ObserverFactory = pool.Observer
 			}
 			var ckPool *conformance.Pool
 			if *check {
@@ -169,28 +218,108 @@ func run(args []string, stdout io.Writer) error {
 				if err != nil {
 					return fmt.Errorf("%s: %w", name, err)
 				}
-				metricsFactory := camp.ObserverFactory
+			}
+			var flightPool *trace.FlightPool
+			if flightOn {
+				flightPool = &trace.FlightPool{}
+				camp.TrialStart = flightPool.TrialStart
+			}
+			if pool != nil || ckPool != nil || flightPool != nil {
 				camp.ObserverFactory = func(w int) sim.Observer {
-					if metricsFactory == nil {
-						return ckPool.Observer(w)
+					var list []sim.Observer
+					var ck *conformance.Checker
+					if ckPool != nil {
+						ck = ckPool.Observer(w).(*conformance.Checker)
+						list = append(list, ck)
 					}
-					return obs.Multi(ckPool.Observer(w), metricsFactory(w))
+					if flightPool != nil {
+						rec := flightPool.Recorder(w)
+						if ck != nil {
+							// The checker runs earlier in the observer
+							// chain, so its verdict is current at the
+							// trial's terminal event: pin the streams of
+							// trials that added violations.
+							seen := 0
+							rec.SetJudge(func(sim.Event) (string, bool) {
+								if n := len(ck.Violations()); n > seen {
+									seen = n
+									return "conformance violation", true
+								}
+								return "", false
+							})
+						}
+						list = append(list, rec)
+					}
+					if pool != nil {
+						list = append(list, pool.Observer(w))
+					}
+					if len(list) == 1 {
+						return list[0]
+					}
+					return obs.Multi(list...)
 				}
 			}
-			if prog != nil {
-				camp.TrialDone = func(sim.TrialResult) { prog.Tick() }
+			var trialTracers *obs.TracerPool
+			if tracer != nil {
+				trialTracers = &obs.TracerPool{}
+				inner := camp.ObserverFactory
+				camp.ObserverFactory = func(w int) sim.Observer {
+					sp := obs.TrialSpans(trialTracers.Shard())
+					if inner == nil {
+						return sp
+					}
+					return obs.Multi(inner(w), sp)
+				}
 			}
+			var effStat, wallStat *obs.StreamStat
+			if stats != nil {
+				effStat = stats.Stat("trial_efficiency")
+				wallStat = stats.Stat("trial_walltime_minutes")
+			}
+			if prog != nil || stats != nil {
+				camp.TrialDone = func(r sim.TrialResult) {
+					if effStat != nil {
+						effStat.Observe(r.Efficiency)
+						wallStat.Observe(r.WallTime)
+					}
+					if prog != nil {
+						prog.Tick()
+					}
+				}
+			}
+			collectFlight := func() {
+				if flightPool == nil {
+					return
+				}
+				ss := flightPool.Streams()
+				for i := range ss {
+					ss[i].Label = name
+				}
+				flightStreams = append(flightStreams, ss...)
+			}
+			campSpan := tracer.Start("campaign")
 			res, err := camp.Run()
+			campSpan.End()
+			if trialTracers != nil {
+				campSpan.Adopt(trialTracers.Merged())
+			}
 			if err != nil {
+				// The black box is most valuable on the crash path: the
+				// aborted trial's stream is pinned as "unterminated".
+				collectFlight()
+				dumpFlight(*flightPath, flightStreams)
 				return fmt.Errorf("%s: simulate: %w", name, err)
 			}
 			if ckPool != nil {
 				if err := ckPool.Err(); err != nil {
+					collectFlight()
+					dumpFlight(*flightPath, flightStreams)
 					return fmt.Errorf("%s: conformance: %w", name, err)
 				}
 				fmt.Fprintf(stdout, "conformance[%s]: %d trials, %d events, all invariants held\n",
 					name, ckPool.Trials(), ckPool.Events())
 			}
+			collectFlight()
 			if pool != nil {
 				m, err := pool.Merged()
 				if err != nil {
@@ -203,22 +332,72 @@ func run(args []string, stdout io.Writer) error {
 			simCol = fmt.Sprintf("%.3f±%.3f", res.Efficiency.Mean, res.Efficiency.Std)
 		}
 		tab.AddRow(name, levelsLabel(info), plan.String(), fmt.Sprintf("%.3f", pred.Efficiency), simCol)
+		cellSpan.End()
+		if live != nil {
+			// Checkpoint the merged telemetry so the HTTP endpoints show
+			// everything up to the technique that just finished.
+			if sink != nil {
+				live.PublishSnapshot(sink.Snapshot())
+			}
+			live.PublishSpans(tracer.Snapshot())
+			if flightOn {
+				if err := live.PublishFlight(func(w io.Writer) error {
+					return trace.WriteFlight(w, flightStreams)
+				}); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	if err := tab.Render(stdout); err != nil {
 		return err
 	}
-	if sink != nil {
+	if *traceSummary {
+		fmt.Fprintln(stdout)
+		if err := obs.WriteSpanSummary(stdout, tracer.Snapshot()); err != nil {
+			return err
+		}
+	}
+	if *metricsPath != "" {
+		snap := sink.Snapshot()
+		if tracer != nil {
+			snap.Spans = tracer.Snapshot()
+		}
+		if stats != nil {
+			snap.Stats = stats.Snapshots()
+		}
 		f, err := os.Create(*metricsPath)
 		if err != nil {
 			return err
 		}
-		if err := sink.WriteJSON(f); err != nil {
+		if err := snap.WriteJSON(f); err != nil {
 			f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
+	}
+	if *flightPath != "" {
+		f, err := os.Create(*flightPath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteFlight(f, flightStreams); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		held := 0
+		for _, s := range flightStreams {
+			if s.Held {
+				held++
+			}
+		}
+		fmt.Fprintf(stdout, "flight recorder: %d streams (%d held) written to %s\n",
+			len(flightStreams), held, *flightPath)
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -232,6 +411,27 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// dumpFlight best-effort writes the accumulated flight streams — used on
+// campaign error paths, where the pinned anomalous streams are exactly
+// what post-mortem debugging needs. Failures to dump are reported but
+// never mask the original error.
+func dumpFlight(path string, streams []trace.FlightStream) {
+	if path == "" || len(streams) == 0 {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlckpt: flight dump:", err)
+		return
+	}
+	defer f.Close()
+	if err := trace.WriteFlight(f, streams); err != nil {
+		fmt.Fprintln(os.Stderr, "mlckpt: flight dump:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "mlckpt: flight recorder dumped to %s\n", path)
 }
 
 // listTechniques renders the registry metadata — no hard-coded

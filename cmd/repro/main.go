@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/obshttp"
 	"repro/internal/report"
 	"repro/internal/system"
 )
@@ -55,6 +56,9 @@ func run(args []string, stdout io.Writer) error {
 	fast := fs.Bool("fast", false, "low-resolution optimizer grids (smoke runs)")
 	metricsPath := fs.String("metrics", "", "write an aggregate telemetry snapshot (JSON) to this file")
 	progress := fs.Bool("progress", false, "report trials/sec and ETA on stderr")
+	progressInterval := fs.Duration("progress-interval", 0, "minimum time between -progress lines (0 = default 500ms, negative = every tick)")
+	listen := fs.String("listen", "", "serve live telemetry over HTTP on this address (/metrics, /snapshot, /spans, /debug/pprof/)")
+	traceSummary := fs.Bool("trace-summary", false, "print the hierarchical span time breakdown after the run")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -94,14 +98,33 @@ func run(args []string, stdout io.Writer) error {
 		}()
 	}
 	var sink *obs.SimMetrics
-	if *metricsPath != "" {
+	if *metricsPath != "" || *listen != "" {
 		sink = obs.NewSimMetrics()
 		opt.Metrics = sink
 	}
+	if *traceSummary || *listen != "" || *metricsPath != "" {
+		opt.Spans = obs.NewTracer()
+	}
 	if *progress {
 		prog := obs.NewProgress(os.Stderr, "repro", trialBudget(targets, opt))
+		if *progressInterval != 0 {
+			prog.SetInterval(*progressInterval)
+		}
 		opt.TrialDone = prog.Tick
 		defer prog.Finish()
+	}
+	var live *obshttp.Live
+	if *listen != "" {
+		live = obshttp.NewLive()
+		opt.TrialStats = live.Stats
+		srv, err := obshttp.Serve(*listen, live.Options())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "repro: telemetry on http://%s/metrics (also /snapshot, /spans, /debug/pprof/)\n", srv.Addr())
+	} else if *metricsPath != "" {
+		opt.TrialStats = obs.NewStreamSet()
 	}
 	// fig6 is derived from fig4's grid; when both run, share the run.
 	var sharedFig4 *experiments.Fig4Result
@@ -113,13 +136,34 @@ func run(args []string, stdout io.Writer) error {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "%s done in %v\n", target, time.Since(start).Round(time.Millisecond))
 		}
+		if live != nil {
+			// Checkpoint telemetry at the target boundary: worker shards
+			// are merged, so the endpoints now cover this target too.
+			if sink != nil {
+				live.PublishSnapshot(sink.Snapshot())
+			}
+			live.PublishSpans(opt.Spans.Snapshot())
+		}
 	}
-	if sink != nil {
+	if *traceSummary {
+		fmt.Fprintln(stdout)
+		if err := obs.WriteSpanSummary(stdout, opt.Spans.Snapshot()); err != nil {
+			return err
+		}
+	}
+	if *metricsPath != "" {
+		snap := sink.Snapshot()
+		if opt.Spans != nil {
+			snap.Spans = opt.Spans.Snapshot()
+		}
+		if opt.TrialStats != nil {
+			snap.Stats = opt.TrialStats.Snapshots()
+		}
 		f, err := os.Create(*metricsPath)
 		if err != nil {
 			return err
 		}
-		if err := sink.WriteJSON(f); err != nil {
+		if err := snap.WriteJSON(f); err != nil {
 			f.Close()
 			return err
 		}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestTraceSummaryAndStreamStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs optimizers and simulations")
+	}
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var out bytes.Buffer
+	err := run([]string{"-quiet", "-fast", "-trials", "4", "-wall", "25",
+		"-trace-summary", "-metrics", path, "sensitivity"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	// Sensitivity drives campaigns directly (no per-cell optimize), so
+	// the tree is campaign → {setup, run → trial, merge}.
+	for _, want := range []string{"campaign", "setup", "run", "trial", "merge"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace summary missing %q:\n%s", want, s)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := obs.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Spans) == 0 {
+		t.Error("snapshot has no spans")
+	}
+	var effCount uint64
+	for _, st := range snap.Stats {
+		if st.Name == "trial_efficiency" {
+			effCount = uint64(st.Count)
+		}
+	}
+	// Every simulated trial streams through the live estimator.
+	if trials := snap.Counter("sim_trials_total"); effCount != trials {
+		t.Errorf("trial_efficiency count = %d, want %d (every trial streams)", effCount, trials)
+	}
+}
+
+func TestListenFlagSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs optimizers and simulations")
+	}
+	var out bytes.Buffer
+	err := run([]string{"-quiet", "-fast", "-trials", "4", "-wall", "25",
+		"-listen", "127.0.0.1:0", "table1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

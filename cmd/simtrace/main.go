@@ -1,11 +1,14 @@
 // Command simtrace runs a single simulated trial with full event tracing
 // and writes the trace as JSON (or a human-readable summary). It is the
-// debugging companion to the campaign-scale repro tool.
+// debugging companion to the campaign-scale repro tool, and doubles as
+// the reader for flight-recorder dumps produced by mlckpt -flight.
 //
 // Usage:
 //
-//	simtrace -system D4 -tau0 1.2 -counts 3 [-levels 1,2] [-json out.json]
+//	simtrace -system D4 -tau0 1.2 -counts 3 [-levels 1,2] [-out out.json]
 //	simtrace -system D4 -summary        # phase-time breakdown table
+//	simtrace -flight dump.json          # inspect a flight-recorder dump
+//	simtrace -flight dump.json -json    # ... machine-readable
 package main
 
 import (
@@ -42,12 +45,17 @@ func run(args []string, stdout io.Writer) error {
 	counts := fs.String("counts", "", "pattern counts N_1..N_{ℓ-1}, comma-separated")
 	levels := fs.String("levels", "", "used levels, comma-separated (default all)")
 	seed := fs.Uint64("seed", 1, "trial seed")
-	jsonPath := fs.String("json", "", "write the full event trace as JSON to this path")
+	outPath := fs.String("out", "", "write the full event trace as JSON to this path")
+	jsonOut := fs.Bool("json", false, "write machine-readable JSON to stdout instead of the human-readable rendering")
 	maxEvents := fs.Int("print", 25, "print at most this many events to stdout")
 	summary := fs.Bool("summary", false, "print the per-trial phase-time breakdown table instead of the raw event stream")
 	check := fs.Bool("check", false, "verify the trial's event stream against the protocol invariants (fails on any violation)")
+	flightFile := fs.String("flight", "", "read a flight-recorder dump (mlckpt -flight) instead of simulating")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *flightFile != "" {
+		return readFlight(*flightFile, *jsonOut, *maxEvents, stdout)
 	}
 
 	sys, err := system.ByName(*sysName)
@@ -112,35 +120,45 @@ func run(args []string, stdout io.Writer) error {
 		if err := checker.Err(); err != nil {
 			return fmt.Errorf("conformance: %w", err)
 		}
-		fmt.Fprintf(stdout, "conformance: %d events checked, all invariants held\n", checker.EventsChecked())
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "conformance: %d events checked, all invariants held\n", checker.EventsChecked())
+		}
 	}
 
-	fmt.Fprintf(stdout, "system: %s\nplan:   %s\n", sys, plan)
-	fmt.Fprintf(stdout, "wall=%.2fmin completed=%v efficiency=%.4f failures=%v scratch=%d\n",
-		res.WallTime, res.Completed, res.Efficiency, res.Failures, res.ScratchRestarts)
-	b := res.Breakdown
-	fmt.Fprintf(stdout, "breakdown: useful=%.2f lost=%.2f ckptOK=%.2f ckptFail=%.2f restartOK=%.2f restartFail=%.2f\n",
-		b.UsefulCompute, b.LostCompute, b.CheckpointOK, b.CheckpointFail, b.RestartOK, b.RestartFail)
-	if *summary {
-		if err := metrics.WriteSummary(stdout); err != nil {
+	if *jsonOut {
+		// Machine-readable mode: the event trace is the only stdout
+		// output, so the command composes with jq and friends.
+		if err := rec.Write(stdout); err != nil {
 			return err
 		}
 	} else {
-		counts2 := rec.Counts()
-		fmt.Fprintf(stdout, "events: %d total (%d failures, %d phase ends)\n",
-			len(rec.Records), counts2["failure"], counts2["phase_end"])
-		for i, r := range rec.Records {
-			if i >= *maxEvents {
-				fmt.Fprintf(stdout, "... %d more events\n", len(rec.Records)-i)
-				break
+		fmt.Fprintf(stdout, "system: %s\nplan:   %s\n", sys, plan)
+		fmt.Fprintf(stdout, "wall=%.2fmin completed=%v efficiency=%.4f failures=%v scratch=%d\n",
+			res.WallTime, res.Completed, res.Efficiency, res.Failures, res.ScratchRestarts)
+		b := res.Breakdown
+		fmt.Fprintf(stdout, "breakdown: useful=%.2f lost=%.2f ckptOK=%.2f ckptFail=%.2f restartOK=%.2f restartFail=%.2f\n",
+			b.UsefulCompute, b.LostCompute, b.CheckpointOK, b.CheckpointFail, b.RestartOK, b.RestartFail)
+		if *summary {
+			if err := metrics.WriteSummary(stdout); err != nil {
+				return err
 			}
-			fmt.Fprintf(stdout, "  t=%9.3f %-12s %-10s level=%d progress=%.2f\n",
-				r.Time, r.Kind, r.Phase, r.Level, r.Progress)
+		} else {
+			counts2 := rec.Counts()
+			fmt.Fprintf(stdout, "events: %d total (%d failures, %d phase ends)\n",
+				len(rec.Records), counts2["failure"], counts2["phase_end"])
+			for i, r := range rec.Records {
+				if i >= *maxEvents {
+					fmt.Fprintf(stdout, "... %d more events\n", len(rec.Records)-i)
+					break
+				}
+				fmt.Fprintf(stdout, "  t=%9.3f %-12s %-10s level=%d progress=%.2f\n",
+					r.Time, r.Kind, r.Phase, r.Level, r.Progress)
+			}
 		}
 	}
 
-	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
 		if err != nil {
 			return err
 		}
@@ -151,7 +169,58 @@ func run(args []string, stdout io.Writer) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "trace written to %s\n", *jsonPath)
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "trace written to %s\n", *outPath)
+		}
+	}
+	return nil
+}
+
+// readFlight renders a flight-recorder dump: one header line per stream,
+// with up to maxEvents events for held (anomalous) streams. In JSON mode
+// the parsed streams are re-emitted verbatim for downstream tooling.
+func readFlight(path string, jsonOut bool, maxEvents int, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	streams, err := trace.ReadFlight(f)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return trace.WriteFlight(stdout, streams)
+	}
+	held := 0
+	for _, s := range streams {
+		if s.Held {
+			held++
+		}
+	}
+	fmt.Fprintf(stdout, "flight dump: %d streams (%d held)\n", len(streams), held)
+	for _, s := range streams {
+		label := ""
+		if s.Label != "" {
+			label = " label=" + s.Label
+		}
+		status := "recent"
+		if s.Held {
+			status = "HELD: " + s.Reason
+		}
+		fmt.Fprintf(stdout, "trial %d worker %d%s — %d events — %s\n",
+			s.Trial, s.Worker, label, len(s.Records), status)
+		if !s.Held {
+			continue
+		}
+		for i, r := range s.Records {
+			if i >= maxEvents {
+				fmt.Fprintf(stdout, "  ... %d more events\n", len(s.Records)-i)
+				break
+			}
+			fmt.Fprintf(stdout, "  t=%9.3f %-12s %-10s level=%d progress=%.2f\n",
+				r.Time, r.Kind, r.Phase, r.Level, r.Progress)
+		}
 	}
 	return nil
 }

@@ -28,7 +28,7 @@ func TestOptimizedPlanAndJSON(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "trace.json")
 	var out bytes.Buffer
-	err := run([]string{"-system", "D2", "-json", path, "-print", "3"}, &out)
+	err := run([]string{"-system", "D2", "-out", path, "-print", "3"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}

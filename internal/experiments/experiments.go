@@ -58,6 +58,18 @@ type Options struct {
 	// every scenario; it must be safe for concurrent use (progress
 	// reporting hook).
 	TrialDone func()
+	// Spans, when non-nil, receives the run's span tree: each cell
+	// records "cell" → {"optimize", "campaign"}, the campaign splits
+	// into "setup"/"run"/"merge", per-worker trial spans are grafted
+	// under "run", and instrumented optimizer sweeps graft their
+	// "sweep"/"refine" spans under "optimize". The tracer is used from
+	// the calling goroutine only (parallel stages record into private
+	// shards that are merged in), so one experiment run per tracer.
+	Spans *obs.Tracer
+	// TrialStats, when non-nil, receives per-trial streaming estimators
+	// that are safe to snapshot concurrently mid-run (the live /metrics
+	// path): "trial_efficiency" and "trial_walltime_minutes".
+	TrialStats *obs.StreamSet
 }
 
 // fastCounts is the reduced N_i candidate set used in Fast mode.
@@ -137,15 +149,55 @@ func newTechnique(name string, fast bool) (model.Technique, error) {
 // folded into the global sink. Returns the merged per-campaign metrics
 // (nil when collection is off).
 func (o Options) runCampaign(camp sim.Campaign) (sim.CampaignResult, *obs.SimMetrics, error) {
-	if o.TrialDone != nil {
-		camp.TrialDone = func(sim.TrialResult) { o.TrialDone() }
+	campSpan := o.Spans.Start("campaign")
+	defer campSpan.End()
+	setupSpan := o.Spans.Start("setup")
+	if o.TrialDone != nil || o.TrialStats != nil {
+		done := o.TrialDone
+		var eff, wall *obs.StreamStat
+		if o.TrialStats != nil {
+			eff = o.TrialStats.Stat("trial_efficiency")
+			wall = o.TrialStats.Stat("trial_walltime_minutes")
+		}
+		camp.TrialDone = func(r sim.TrialResult) {
+			if eff != nil {
+				eff.Observe(r.Efficiency)
+				wall.Observe(r.WallTime)
+			}
+			if done != nil {
+				done()
+			}
+		}
 	}
 	var pool *obs.Pool
 	if o.Metrics != nil || o.CollectMetrics {
 		pool = &obs.Pool{}
 		camp.ObserverFactory = pool.Observer
 	}
+	var tracers *obs.TracerPool
+	if o.Spans != nil {
+		tracers = &obs.TracerPool{}
+		inner := camp.ObserverFactory
+		camp.ObserverFactory = func(worker int) sim.Observer {
+			spans := obs.TrialSpans(tracers.Shard())
+			if inner == nil {
+				return spans
+			}
+			return obs.Multi(inner(worker), spans)
+		}
+	}
+	setupSpan.End()
+
+	runSpan := o.Spans.Start("run")
 	res, err := camp.Run()
+	runSpan.End()
+
+	mergeSpan := o.Spans.Start("merge")
+	defer mergeSpan.End()
+	if tracers != nil {
+		// Worker trial spans appear under the stage that ran them.
+		runSpan.Adopt(tracers.Merged())
+	}
 	if err != nil || pool == nil {
 		return res, nil, err
 	}
@@ -175,7 +227,21 @@ func evaluate(sys *system.System, techName string, trials int, seed rng.Seed, op
 			m.SetSweepMetrics(opt.Metrics.Registry())
 		}
 	}
+	cellSpan := opt.Spans.Start("cell")
+	defer cellSpan.End()
+	var sweepSpans *obs.Tracer
+	if opt.Spans != nil {
+		// The sweep merges its per-worker span shards into a private
+		// tracer, grafted under this cell's "optimize" span afterwards.
+		if s, ok := tech.(interface{ SetSweepSpans(*obs.Tracer) }); ok {
+			sweepSpans = obs.NewTracer()
+			s.SetSweepSpans(sweepSpans)
+		}
+	}
+	optSpan := opt.Spans.Start("optimize")
 	plan, pred, err := tech.Optimize(sys)
+	optSpan.End()
+	optSpan.Adopt(sweepSpans)
 	if err != nil {
 		return Cell{}, fmt.Errorf("%s on %s: optimize: %w", techName, sys.Name, err)
 	}

@@ -52,6 +52,10 @@ type Technique struct {
 	// (candidates/evaluations/prunes). Not for use across concurrent
 	// Optimize calls.
 	Metrics *obs.Registry
+	// Spans, when non-nil, receives the optimizer sweep's span tree
+	// (see optimize.Space.Spans). Not for use across concurrent
+	// Optimize calls.
+	Spans *obs.Tracer
 }
 
 // New returns the technique with reproduction settings.
@@ -155,6 +159,7 @@ func (t *Technique) Optimize(sys *system.System) (pattern.Plan, model.Prediction
 		Workers:    t.Workers,
 		RefineTau0: true,
 		Metrics:    t.Metrics,
+		Spans:      t.Spans,
 	}
 	res, err := optimize.Sweep(space, func(p pattern.Plan) (float64, bool) {
 		v, err := expectedTime(sys, p)
@@ -170,5 +175,10 @@ func (t *Technique) Optimize(sys *system.System) (pattern.Plan, model.Prediction
 // (nil disables collection). Implements the optional interface the CLIs
 // and experiment harness probe for.
 func (t *Technique) SetSweepMetrics(reg *obs.Registry) { t.Metrics = reg }
+
+// SetSweepSpans directs the optimizer sweep's span tree into tr (nil
+// disables collection). Implements the optional interface the CLIs and
+// experiment harness probe for.
+func (t *Technique) SetSweepSpans(tr *obs.Tracer) { t.Spans = tr }
 
 var _ model.Technique = (*Technique)(nil)

@@ -56,12 +56,21 @@ type Technique struct {
 	// (candidates/evaluations/prunes plus the period-shape memo's
 	// hit/miss counters). Not for use across concurrent Optimize calls.
 	Metrics *obs.Registry
+	// Spans, when non-nil, receives the optimizer sweep's span tree
+	// (see optimize.Space.Spans). Not for use across concurrent
+	// Optimize calls.
+	Spans *obs.Tracer
 }
 
 // SetSweepMetrics directs the optimizer sweep's telemetry into reg
 // (nil disables collection). Implements the optional interface the CLIs
 // and experiment harness probe for.
 func (t *Technique) SetSweepMetrics(reg *obs.Registry) { t.Metrics = reg }
+
+// SetSweepSpans directs the optimizer sweep's span tree into tr (nil
+// disables collection). Implements the optional interface the CLIs and
+// experiment harness probe for.
+func (t *Technique) SetSweepSpans(tr *obs.Tracer) { t.Spans = tr }
 
 // New returns the technique with reproduction settings.
 func New() *Technique {
@@ -157,6 +166,7 @@ func (t *Technique) Optimize(sys *system.System) (pattern.Plan, model.Prediction
 		RefineTau0:         true,
 		LowerBound:         failureFreeBound(sys),
 		Metrics:            t.Metrics,
+		Spans:              t.Spans,
 	}
 	res, err := optimize.SweepObjectives(space, func(_ int, reg *obs.Registry) optimize.Objective {
 		return newSweepObjective(sys, reg)

@@ -241,11 +241,16 @@ type GaugeSnapshot struct {
 }
 
 // Snapshot is a serializable, point-in-time copy of a registry, sorted
-// by metric identity for deterministic output.
+// by metric identity for deterministic output. The Spans and Stats
+// sections are not populated by Registry.Snapshot — callers holding a
+// Tracer or StreamSet attach them before serialization (the cmd tools'
+// -metrics files and obshttp's /snapshot both do).
 type Snapshot struct {
-	Counters   []CounterSnapshot   `json:"counters,omitempty"`
-	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
-	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+	Counters   []CounterSnapshot    `json:"counters,omitempty"`
+	Gauges     []GaugeSnapshot      `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot  `json:"histograms,omitempty"`
+	Spans      []SpanNode           `json:"spans,omitempty"`
+	Stats      []StreamStatSnapshot `json:"stats,omitempty"`
 }
 
 // Snapshot copies the registry's current state.
@@ -274,9 +279,15 @@ func (r *Registry) Snapshot() Snapshot {
 
 // WriteJSON writes the registry snapshot as indented JSON.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}
+
+// WriteJSON serializes the snapshot in the same format Registry.WriteJSON
+// uses — for callers that attach Spans or Stats before writing.
+func (s Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(r.Snapshot())
+	return enc.Encode(s)
 }
 
 // ReadSnapshot parses a snapshot previously produced by WriteJSON.

@@ -1,0 +1,90 @@
+package obshttp
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestLivePublishCheckpoints(t *testing.T) {
+	l := NewLive()
+	if o := l.Options(); o.Flight != nil {
+		t.Fatal("flight endpoint wired before any dump was published")
+	}
+
+	reg := obs.NewRegistry()
+	reg.Counter("campaigns_total").Inc()
+	l.PublishSnapshot(reg.Snapshot())
+	tr := obs.NewTracer()
+	tr.Start("root").End()
+	l.PublishSpans(tr.Snapshot())
+	l.Stats.Stat("live_eff").Observe(0.9)
+	if err := l.PublishFlight(func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"format":"mlckpt-flight"}`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	o := l.Options()
+	if snap := o.Snapshot(); snap.Counter("campaigns_total") != 1 {
+		t.Errorf("snapshot lost the published registry: %+v", snap)
+	}
+	if spans := o.Spans(); len(spans) != 1 || spans[0].Name != "root" {
+		t.Errorf("spans = %+v, want [root]", spans)
+	}
+	if stats := o.Stats(); len(stats) != 1 || stats[0].Count != 1 {
+		t.Errorf("stats = %+v, want one observation", stats)
+	}
+	if o.Flight == nil {
+		t.Fatal("flight endpoint missing after publish")
+	}
+	var b bytes.Buffer
+	if err := o.Flight(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != `{"format":"mlckpt-flight"}` {
+		t.Errorf("flight bytes = %q", b.String())
+	}
+}
+
+func TestLiveConcurrentPublishAndRead(t *testing.T) {
+	// Stats stream in from worker goroutines while snapshots checkpoint
+	// and scrapes read — the mix the live endpoints see mid-run.
+	l := NewLive()
+	o := l.Options()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := l.Stats.Stat("live_eff")
+			for i := 0; i < 500; i++ {
+				st.Observe(1.0)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		reg := obs.NewRegistry()
+		for i := 0; i < 100; i++ {
+			reg.Counter("ticks").Inc()
+			l.PublishSnapshot(reg.Snapshot())
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_ = o.Snapshot()
+		_ = o.Stats()
+	}
+	wg.Wait()
+	if got := o.Stats()[0].Count; got != 2000 {
+		t.Errorf("stat count = %d, want 2000", got)
+	}
+	if got := o.Snapshot().Counter("ticks"); got != 100 {
+		t.Errorf("ticks = %d, want 100", got)
+	}
+}

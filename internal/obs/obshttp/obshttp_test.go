@@ -1,0 +1,280 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func testRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("trials_total", "system", "D7").Add(200)
+	r.Gauge("sweep_best_eff").Set(0.87)
+	h := r.Histogram("makespan_hours", "system", "D7")
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	return r
+}
+
+func testOptions() Options {
+	reg := testRegistry()
+	set := obs.NewStreamSet()
+	live := set.Stat("live_makespan")
+	for i := 1; i <= 5; i++ {
+		live.Observe(float64(i))
+	}
+	tr := obs.NewTracer()
+	s := tr.Start("campaign")
+	tr.Start("run").End()
+	s.End()
+	return Options{
+		Snapshot: reg.Snapshot,
+		Spans:    tr.Snapshot,
+		Stats:    set.Snapshots,
+		Flight: func(w io.Writer) error {
+			_, err := io.WriteString(w, `{"format":"mlckpt-flight","version":1,"streams":[]}`)
+			return err
+		},
+	}
+}
+
+func get(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, metrics := get(t, base, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if err := checkPrometheusText(metrics); err != nil {
+		t.Fatalf("/metrics not parseable: %v\n%s", err, metrics)
+	}
+	for _, want := range []string{
+		"# TYPE trials_total counter",
+		`trials_total{system="D7"} 200`,
+		"# TYPE makespan_hours histogram",
+		`makespan_hours_bucket{system="D7",le="+Inf"} 10`,
+		"# TYPE live_makespan summary",
+		`live_makespan{quantile="0.5"}`,
+		"live_makespan_count 5",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, snapBody := get(t, base, "/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("/snapshot status %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(snapBody), &snap); err != nil {
+		t.Fatalf("/snapshot not JSON: %v", err)
+	}
+	if snap.Counter("trials_total") != 200 {
+		t.Errorf("snapshot counter = %d", snap.Counter("trials_total"))
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Name != "campaign" {
+		t.Errorf("snapshot spans = %+v", snap.Spans)
+	}
+	if len(snap.Stats) != 1 || snap.Stats[0].Count != 5 {
+		t.Errorf("snapshot stats = %+v", snap.Stats)
+	}
+
+	code, spans := get(t, base, "/spans")
+	if code != http.StatusOK || !strings.Contains(spans, "campaign") {
+		t.Errorf("/spans = %d %q", code, spans)
+	}
+	code, spansJSON := get(t, base, "/spans?format=json")
+	var nodes []obs.SpanNode
+	if code != http.StatusOK || json.Unmarshal([]byte(spansJSON), &nodes) != nil || len(nodes) != 1 {
+		t.Errorf("/spans?format=json = %d %q", code, spansJSON)
+	}
+
+	code, flight := get(t, base, "/flight")
+	if code != http.StatusOK || !strings.Contains(flight, "mlckpt-flight") {
+		t.Errorf("/flight = %d %q", code, flight)
+	}
+
+	code, _ = get(t, base, "/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestNilSources404(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	for _, path := range []string{"/metrics", "/snapshot", "/spans", "/flight"} {
+		if code, _ := get(t, base, path); code != http.StatusNotFound {
+			t.Errorf("%s status %d, want 404", path, code)
+		}
+	}
+}
+
+func TestWriteMetricsHistogramCumulative(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("m")
+	h.Observe(1)
+	h.Observe(10)
+	h.Observe(100)
+	var b strings.Builder
+	if err := WriteMetrics(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket counts must be cumulative and end at the total.
+	var last uint64
+	lines := strings.Split(b.String(), "\n")
+	buckets := 0
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "m_bucket") {
+			continue
+		}
+		buckets++
+		f := strings.Fields(line)
+		n, err := strconv.ParseUint(f[len(f)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("bucket counts not cumulative: %q after %d", line, last)
+		}
+		last = n
+	}
+	if buckets < 4 || last != 3 { // 3 value buckets + +Inf
+		t.Fatalf("buckets = %d, final count = %d\n%s", buckets, last, b.String())
+	}
+	if err := checkPrometheusText(b.String()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"ok_name":    "ok_name",
+		"with-dash":  "with_dash",
+		"9lead":      "_lead",
+		"dots.too":   "dots_too",
+		"":           "_",
+		"colons:ok":  "colons:ok",
+		"ümlaut":     "_mlaut",
+		"CamelCase9": "CamelCase9",
+	} {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	if got := escapeLabel("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Fatalf("escapeLabel = %q", got)
+	}
+}
+
+// checkPrometheusText is a strict-enough parser for the text exposition
+// format: every non-comment line must be `name{labels} value` with a
+// valid metric name, balanced quoted labels, and a parseable value.
+func checkPrometheusText(text string) error {
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest := line
+		i := strings.IndexAny(rest, "{ ")
+		if i <= 0 {
+			return fmt.Errorf("line %d: no metric name in %q", ln+1, line)
+		}
+		name := rest[:i]
+		for j, r := range name {
+			if !(r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (j > 0 && r >= '0' && r <= '9')) {
+				return fmt.Errorf("line %d: bad metric name %q", ln+1, name)
+			}
+		}
+		rest = rest[i:]
+		if rest[0] == '{' {
+			end := strings.LastIndex(rest, "}")
+			if end < 0 {
+				return fmt.Errorf("line %d: unterminated labels in %q", ln+1, line)
+			}
+			labels := rest[1:end]
+			if labels != "" {
+				for _, pair := range splitLabels(labels) {
+					eq := strings.Index(pair, "=")
+					if eq <= 0 {
+						return fmt.Errorf("line %d: bad label %q", ln+1, pair)
+					}
+					v := pair[eq+1:]
+					if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+						return fmt.Errorf("line %d: unquoted label value %q", ln+1, pair)
+					}
+				}
+			}
+			rest = rest[end+1:]
+		}
+		rest = strings.TrimSpace(rest)
+		if rest != "+Inf" && rest != "-Inf" && rest != "NaN" {
+			if _, err := strconv.ParseFloat(rest, 64); err != nil {
+				return fmt.Errorf("line %d: bad value %q: %v", ln+1, rest, err)
+			}
+		}
+	}
+	return nil
+}
+
+// splitLabels splits k1="v1",k2="v2" on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\\' && inQuote && i+1 < len(s):
+			cur.WriteByte(c)
+			i++
+			cur.WriteByte(s[i])
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}

@@ -35,6 +35,15 @@ func NewProgress(w io.Writer, label string, total int64) *Progress {
 	return p
 }
 
+// SetInterval overrides the minimum period between progress lines (the
+// cmd tools' -progress-interval flag). Non-positive intervals disable
+// throttling entirely — every Tick emits a line.
+func (p *Progress) SetInterval(d time.Duration) {
+	p.mu.Lock()
+	p.period = d
+	p.mu.Unlock()
+}
+
 // Tick records one completed unit, emitting a throttled progress line.
 func (p *Progress) Tick() { p.Add(1) }
 
@@ -53,10 +62,28 @@ func (p *Progress) Add(n int64) {
 	fmt.Fprintln(p.w, line)
 }
 
-// Finish emits a final summary line.
+// Finish emits a final summary line: the completed count (and 100 %
+// when a total was known), the total elapsed time, and the mean rate
+// over the whole run — no ETA.
 func (p *Progress) Finish() {
 	p.mu.Lock()
-	line := fmt.Sprintf("%s: done — %s", p.label, p.line(p.now()))
+	now := p.now()
+	elapsed := now.Sub(p.start)
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(p.done) / s
+	}
+	var line string
+	if p.total > 0 {
+		// An aborted run reports its true percentage; a completed one
+		// reads 100.0%.
+		pct := 100 * float64(p.done) / float64(p.total)
+		line = fmt.Sprintf("%s: done — %d/%d %s (%.1f%%) in %s, %.1f %s/s mean",
+			p.label, p.done, p.total, p.unit, pct, elapsed.Round(time.Millisecond), rate, p.unit)
+	} else {
+		line = fmt.Sprintf("%s: done — %d %s in %s, %.1f %s/s mean",
+			p.label, p.done, p.unit, elapsed.Round(time.Millisecond), rate, p.unit)
+	}
 	p.mu.Unlock()
 	fmt.Fprintln(p.w, line)
 }

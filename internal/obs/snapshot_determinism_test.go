@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// shardRegistry builds a worker-style registry shard with overlapping
+// and shard-specific families, scaled by k so merged values are
+// distinguishable from unmerged ones.
+func shardRegistry(k int) *Registry {
+	r := NewRegistry()
+	r.Counter("trials_total", "system", "D7").Add(uint64(10 * k))
+	r.Counter("events_total").Add(uint64(100 * k))
+	// Gauges are last-writer-wins under Merge, so worker shards label
+	// them per shard; only then is the merged result order-independent.
+	r.Gauge("last_makespan", "worker", string(rune('0'+k))).Set(float64(k))
+	h := r.Histogram("makespan_hours", "system", "D7")
+	for i := 0; i < k; i++ {
+		h.Observe(float64(i + 1))
+	}
+	// A family only some shards touch.
+	if k%2 == 0 {
+		r.Counter("failures_total", "level", "2").Add(uint64(k))
+	}
+	return r
+}
+
+func TestWriteJSONByteIdenticalAcrossMergeOrders(t *testing.T) {
+	// Satellite: snapshot serialization must not depend on the order
+	// worker shards were merged in.
+	orders := [][]int{
+		{1, 2, 3, 4},
+		{4, 3, 2, 1},
+		{3, 1, 4, 2},
+	}
+	var want []byte
+	for i, order := range orders {
+		merged := NewRegistry()
+		for _, k := range order {
+			if err := merged.Merge(shardRegistry(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := merged.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("merge order %v produced different JSON:\n%s\nvs\n%s", order, buf.Bytes(), want)
+		}
+	}
+}
+
+func TestMergeLabelDisjointLossless(t *testing.T) {
+	// Satellite: merging families whose label sets are disjoint must be
+	// lossless in both directions — each side's members appear unchanged
+	// in the result, with no cross-contamination.
+	build := func(system string, trials uint64, obs float64) *Registry {
+		r := NewRegistry()
+		r.Counter("trials_total", "system", system).Add(trials)
+		r.Gauge("eff", "system", system).Set(obs)
+		r.Histogram("makespan_hours", "system", system).Observe(obs)
+		return r
+	}
+	check := func(t *testing.T, m *Registry) {
+		t.Helper()
+		snap := m.Snapshot()
+		if got := snap.Counter("trials_total"); got != 30 {
+			t.Fatalf("summed trials_total = %d, want 30", got)
+		}
+		wantCounters := map[string]uint64{"D7": 10, "Coastal": 20}
+		for _, c := range snap.Counters {
+			if c.Name != "trials_total" {
+				continue
+			}
+			if len(c.Labels) != 1 || wantCounters[c.Labels[0].Value] != c.Value {
+				t.Fatalf("counter member %+v unexpected", c)
+			}
+			delete(wantCounters, c.Labels[0].Value)
+		}
+		if len(wantCounters) != 0 {
+			t.Fatalf("missing counter members: %v", wantCounters)
+		}
+		if len(snap.Histograms) != 2 {
+			t.Fatalf("histogram members = %d, want 2", len(snap.Histograms))
+		}
+		for _, h := range snap.Histograms {
+			if h.Count != 1 {
+				t.Fatalf("histogram member %s count = %d, want 1", h.Name, h.Count)
+			}
+		}
+	}
+
+	a := build("D7", 10, 1.5)
+	b := build("Coastal", 20, 2.5)
+	ab := NewRegistry()
+	if err := ab.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ab.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	check(t, ab)
+
+	// Other direction: b absorbs a.
+	a2 := build("D7", 10, 1.5)
+	b2 := build("Coastal", 20, 2.5)
+	if err := b2.Merge(a2); err != nil {
+		t.Fatal(err)
+	}
+	check(t, b2)
+
+	// The two directions agree exactly.
+	if !reflect.DeepEqual(ab.Snapshot(), b2.Snapshot()) {
+		t.Fatalf("a←b and b←a snapshots differ:\n%+v\nvs\n%+v", ab.Snapshot(), b2.Snapshot())
+	}
+}

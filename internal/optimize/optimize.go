@@ -82,6 +82,12 @@ type Space struct {
 	// once after the sweep. Sharing one sink across concurrent sweeps
 	// is not supported.
 	Metrics *obs.Registry
+	// Spans, when non-nil, receives the sweep's span tree: each worker
+	// records a "sweep" span with one "chunk" child per work-queue grab,
+	// and the τ0 refinement stage records "refine". Worker shards are
+	// goroutine-local tracers merged here once after the sweep; the same
+	// single-sweep-per-sink rule as Metrics applies.
+	Spans *obs.Tracer
 }
 
 // Result is the outcome of a sweep.
@@ -292,8 +298,12 @@ func SweepObjectives(space Space, factory ObjectiveFactory) (Result, error) {
 
 	ws := make([]*sweepWorker, workers)
 	regs := make([]*obs.Registry, workers+1) // last shard: refinement
+	trs := make([]*obs.Tracer, workers+1)    // nil tracers no-op when Spans is unset
 	for i := range regs {
 		regs[i] = obs.NewRegistry()
+		if space.Spans != nil {
+			trs[i] = obs.NewTracer()
+		}
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -311,6 +321,7 @@ func SweepObjectives(space Space, factory ObjectiveFactory) (Result, error) {
 			}
 			ws[w] = sw
 			process := sw.candidate
+			sweepSpan := trs[w].Start("sweep")
 			for {
 				start := int(next.Add(int64(chunk))) - chunk
 				if start >= cells {
@@ -320,6 +331,7 @@ func SweepObjectives(space Space, factory ObjectiveFactory) (Result, error) {
 				if end > cells {
 					end = cells
 				}
+				chunkSpan := trs[w].Start("chunk")
 				for c := start; c < end; c++ {
 					// τ0-major order puts the expensive small-τ0
 					// cells at the front of the queue.
@@ -331,7 +343,9 @@ func SweepObjectives(space Space, factory ObjectiveFactory) (Result, error) {
 					sw.levels = space.LevelSets[c%len(space.LevelSets)]
 					sw.scratch.forEach(len(sw.levels)-1, space.CountVals, process)
 				}
+				chunkSpan.End()
 			}
+			sweepSpan.End()
 			reg.Counter("opt_candidates_total").Add(uint64(sw.candidates))
 		}(w)
 	}
@@ -355,17 +369,21 @@ func SweepObjectives(space Space, factory ObjectiveFactory) (Result, error) {
 		if err := mergeMetrics(space.Metrics, regs); err != nil {
 			return Result{}, err
 		}
+		mergeSpans(space.Spans, trs)
 		return Result{Evaluated: out.Evaluated}, ErrNoFeasiblePlan
 	}
 	if space.RefineTau0 {
 		reg := regs[workers]
+		refineSpan := trs[workers].Start("refine")
 		refined, t := refineTau0(out.Plan, out.ExpectedTime, space.Tau0,
 			factory(workers, reg), reg.Counter("opt_refine_evaluations_total"))
+		refineSpan.End()
 		out.Plan, out.ExpectedTime = refined, t
 	}
 	if err := mergeMetrics(space.Metrics, regs); err != nil {
 		return Result{}, err
 	}
+	mergeSpans(space.Spans, trs)
 	return out, nil
 }
 
@@ -380,6 +398,16 @@ func mergeMetrics(sink *obs.Registry, regs []*obs.Registry) error {
 		}
 	}
 	return nil
+}
+
+// mergeSpans folds the per-worker tracer shards into the sink, if any.
+func mergeSpans(sink *obs.Tracer, trs []*obs.Tracer) {
+	if sink == nil {
+		return
+	}
+	for _, tr := range trs {
+		sink.Merge(tr)
+	}
 }
 
 // refineTau0 golden-section-searches τ0 between the grid neighbors of the

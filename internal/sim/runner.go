@@ -43,6 +43,12 @@ type Campaign struct {
 	// per trial (controllers are stateful). A factory returning nil
 	// leaves that trial uncontrolled.
 	ControllerFactory func() PlanController
+	// TrialStart, when non-nil, is called from the worker goroutine
+	// immediately before each trial runs, with the worker's index and
+	// the campaign trial index — it must be safe for concurrent use.
+	// Flight recorders hook in here to label the upcoming event stream
+	// (see internal/trace.FlightPool).
+	TrialStart func(worker, trial int)
 	// TrialDone, when non-nil, is called once after every completed
 	// trial, from worker goroutines — it must be safe for concurrent
 	// use. Progress reporters hook in here.
@@ -173,6 +179,9 @@ func (c Campaign) Run() (CampaignResult, error) {
 					}
 					eng.Observe(obs)
 					eng.Control(c.ControllerFactory)
+				}
+				if c.TrialStart != nil {
+					c.TrialStart(w, i)
 				}
 				r, err := eng.Run(c.Seed.Trial(i))
 				if err != nil {

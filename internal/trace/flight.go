@@ -1,0 +1,357 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// FlightRecorder is a bounded "black box" for campaign trials: it keeps
+// the complete event streams of the last few trials in a ring buffer,
+// and pins (holds) the streams of anomalous trials — trials an external
+// judge flags (conformance violations), trials whose makespan lands
+// beyond a running quantile threshold, and trials that never reach a
+// terminal event (errors abort the stream mid-flight). Everything else
+// is recycled, so a million-trial campaign carries only a few streams.
+//
+// It implements sim.Observer and follows the worker-shard discipline:
+// one recorder per worker goroutine (see FlightPool), no locking on the
+// event path, and the steady-state path allocates nothing — the current
+// stream buffer and the ring slots swap storage instead of reallocating.
+type FlightRecorder struct {
+	opts FlightOptions
+	hist *obs.Histogram
+
+	trial   int // index of the trial currently recording
+	started bool
+	cur     []sim.Event
+	recent  []flightEntry
+	next    int // ring write position
+	filled  int
+	held    []heldStream
+	dropped int // holds discarded once opts.MaxHold was reached
+	seen    int // terminated trials observed
+}
+
+// flightEntry is one ring slot.
+type flightEntry struct {
+	trial  int
+	events []sim.Event
+	used   bool
+}
+
+// heldStream is one pinned anomalous stream.
+type heldStream struct {
+	trial  int
+	reason string
+	events []sim.Event
+}
+
+// FlightOptions configures a recorder. The zero value means: keep 8
+// recent trials, hold at most 32 anomalous streams, hold makespans
+// beyond the observed p99 once 20 trials have completed, no judge.
+type FlightOptions struct {
+	// Keep is the number of recent (non-held) trial streams retained.
+	Keep int
+	// MaxHold caps the number of pinned anomalous streams; further
+	// holds are counted but dropped (oldest kept — early anomalies are
+	// usually the interesting ones).
+	MaxHold int
+	// HoldQuantile pins trials whose makespan exceeds this running
+	// quantile of the makespans seen so far (per worker). Negative
+	// disables; 0 means the default 0.99.
+	HoldQuantile float64
+	// MinSample is the number of terminated trials required before the
+	// quantile hold activates (a threshold estimated from three trials
+	// pins noise). 0 means the default 20.
+	MinSample int
+	// Judge, when non-nil, is consulted at every trial-terminal event;
+	// returning (reason, true) pins the stream. Wire it to a
+	// conformance checker observing the same worker's trials (order the
+	// checker before the recorder in obs.Multi so its verdict is
+	// current).
+	Judge func(last sim.Event) (reason string, hold bool)
+}
+
+func (o FlightOptions) withDefaults() FlightOptions {
+	if o.Keep <= 0 {
+		o.Keep = 8
+	}
+	if o.MaxHold <= 0 {
+		o.MaxHold = 32
+	}
+	if o.HoldQuantile == 0 {
+		o.HoldQuantile = 0.99
+	}
+	if o.MinSample <= 0 {
+		o.MinSample = 20
+	}
+	return o
+}
+
+// NewFlightRecorder returns a recorder for one worker goroutine.
+func NewFlightRecorder(opts FlightOptions) *FlightRecorder {
+	o := opts.withDefaults()
+	return &FlightRecorder{
+		opts:   o,
+		hist:   obs.NewHistogram(),
+		trial:  -1,
+		recent: make([]flightEntry, o.Keep),
+	}
+}
+
+// SetJudge installs (or replaces) the anomaly judge on this recorder —
+// for per-worker judges that close over worker-local state, such as a
+// conformance checker observing the same worker's trials (see
+// FlightOptions.Judge). Call it before the recorder observes events.
+func (r *FlightRecorder) SetJudge(judge func(last sim.Event) (reason string, hold bool)) {
+	r.opts.Judge = judge
+}
+
+// BeginTrial labels the next event stream with its campaign trial index
+// (sim.Campaign.TrialStart hook). Without it, streams are numbered
+// sequentially per worker.
+func (r *FlightRecorder) BeginTrial(trial int) {
+	r.trial = trial
+	r.started = true
+}
+
+// Observe implements sim.Observer.
+func (r *FlightRecorder) Observe(e sim.Event) {
+	r.cur = append(r.cur, e)
+	if e.Kind == sim.EvComplete || e.Kind == sim.EvCapped {
+		r.endTrial(e)
+	}
+}
+
+// endTrial decides the fate of the just-terminated stream.
+func (r *FlightRecorder) endTrial(last sim.Event) {
+	reason := ""
+	if r.opts.Judge != nil {
+		if why, hold := r.opts.Judge(last); hold {
+			reason = why
+		}
+	}
+	makespan := last.Time
+	if reason == "" && r.opts.HoldQuantile > 0 && r.opts.HoldQuantile < 1 &&
+		r.seen >= r.opts.MinSample && makespan > r.hist.Quantile(r.opts.HoldQuantile) {
+		reason = fmt.Sprintf("makespan %.6g beyond p%g", makespan, 100*r.opts.HoldQuantile)
+	}
+	r.hist.Observe(makespan)
+	r.seen++
+	if reason != "" {
+		if len(r.held) < r.opts.MaxHold {
+			r.held = append(r.held, heldStream{
+				trial:  r.currentTrial(),
+				reason: reason,
+				events: append([]sim.Event(nil), r.cur...),
+			})
+		} else {
+			r.dropped++
+		}
+	}
+	// Rotate the stream into the ring, stealing the evicted slot's
+	// storage for the next trial — steady state allocates nothing.
+	slot := &r.recent[r.next]
+	old := slot.events
+	slot.events = r.cur
+	slot.trial = r.currentTrial()
+	slot.used = true
+	r.cur = old[:0]
+	r.next = (r.next + 1) % len(r.recent)
+	if r.filled < len(r.recent) {
+		r.filled++
+	}
+	if r.started {
+		r.trial++ // provisional; the next BeginTrial overrides
+	}
+}
+
+// currentTrial returns the label for the stream in flight.
+func (r *FlightRecorder) currentTrial() int {
+	if r.started {
+		return r.trial
+	}
+	return r.seen
+}
+
+// Held returns how many anomalous streams are pinned (excluding any
+// dropped past MaxHold).
+func (r *FlightRecorder) Held() int { return len(r.held) }
+
+// Dropped returns how many holds were discarded at the MaxHold cap.
+func (r *FlightRecorder) Dropped() int { return r.dropped }
+
+// FlightStream is one dumped trial event stream.
+type FlightStream struct {
+	Trial  int    `json:"trial"`
+	Worker int    `json:"worker"`
+	Held   bool   `json:"held,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	// Label optionally names the campaign the stream came from — tools
+	// dumping several campaigns into one file (mlckpt runs one campaign
+	// per technique) stamp it so trial indices stay unambiguous.
+	Label   string   `json:"label,omitempty"`
+	Records []Record `json:"records"`
+}
+
+func toRecords(events []sim.Event) []Record {
+	out := make([]Record, len(events))
+	for i, e := range events {
+		out[i] = Record{
+			Time:     e.Time,
+			Kind:     e.Kind.String(),
+			Phase:    e.Phase.String(),
+			Level:    e.Level,
+			Progress: e.Progress,
+		}
+	}
+	return out
+}
+
+// Streams converts the recorder's current contents — pinned streams,
+// the recent ring, and (if present) an unterminated in-flight stream,
+// which is held with reason "unterminated" since a trial error aborts
+// the stream before its terminal event — into dump form. worker labels
+// the output.
+func (r *FlightRecorder) Streams(worker int) []FlightStream {
+	var out []FlightStream
+	for _, h := range r.held {
+		out = append(out, FlightStream{
+			Trial: h.trial, Worker: worker, Held: true, Reason: h.reason,
+			Records: toRecords(h.events),
+		})
+	}
+	if len(r.cur) > 0 {
+		out = append(out, FlightStream{
+			Trial: r.currentTrial(), Worker: worker, Held: true, Reason: "unterminated",
+			Records: toRecords(r.cur),
+		})
+	}
+	for i := 0; i < r.filled; i++ {
+		e := &r.recent[i]
+		if !e.used {
+			continue
+		}
+		out = append(out, FlightStream{
+			Trial: e.trial, Worker: worker, Records: toRecords(e.events),
+		})
+	}
+	return out
+}
+
+// flightHeader versions the serialized flight-dump format.
+type flightHeader struct {
+	Format  string         `json:"format"`
+	Version int            `json:"version"`
+	Streams []FlightStream `json:"streams"`
+}
+
+const flightFormatName = "mlckpt-flight"
+
+// WriteFlight serializes flight streams as JSON.
+func WriteFlight(w io.Writer, streams []FlightStream) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(flightHeader{Format: flightFormatName, Version: 1, Streams: streams})
+}
+
+// ReadFlight deserializes a dump previously produced by WriteFlight.
+func ReadFlight(rd io.Reader) ([]FlightStream, error) {
+	var h flightHeader
+	if err := json.NewDecoder(rd).Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: decode flight dump: %w", err)
+	}
+	if h.Format != flightFormatName {
+		return nil, fmt.Errorf("trace: not a %s file (format %q)", flightFormatName, h.Format)
+	}
+	if h.Version != 1 {
+		return nil, fmt.Errorf("trace: unsupported flight version %d", h.Version)
+	}
+	return h.Streams, nil
+}
+
+// FlightPool hands out one FlightRecorder per campaign worker goroutine
+// and assembles their contents after (or during an error abort of) a
+// run. Recorder/Observer are safe for concurrent use; each returned
+// recorder must stay goroutine-local.
+type FlightPool struct {
+	// Options configures every recorder the pool hands out. Judge, if
+	// set, is shared — it must be safe for concurrent use or derive
+	// per-worker state from the event stream alone.
+	Options FlightOptions
+
+	mu   sync.Mutex
+	recs map[int]*FlightRecorder
+}
+
+// Recorder returns the worker's recorder, creating it on first use —
+// idempotent, so both ObserverFactory and TrialStart hooks can call it.
+func (p *FlightPool) Recorder(worker int) *FlightRecorder {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.recs == nil {
+		p.recs = map[int]*FlightRecorder{}
+	}
+	r, ok := p.recs[worker]
+	if !ok {
+		r = NewFlightRecorder(p.Options)
+		p.recs[worker] = r
+	}
+	return r
+}
+
+// Observer implements sim.Campaign.ObserverFactory.
+func (p *FlightPool) Observer(worker int) sim.Observer {
+	return p.Recorder(worker)
+}
+
+// TrialStart implements sim.Campaign.TrialStart.
+func (p *FlightPool) TrialStart(worker, trial int) {
+	p.Recorder(worker).BeginTrial(trial)
+}
+
+// Streams returns every worker's streams, held ones first, then by
+// trial index — deterministic for a given set of recorded trials.
+// Callers must not invoke it while a campaign is still observing.
+func (p *FlightPool) Streams() []FlightStream {
+	p.mu.Lock()
+	workers := make([]int, 0, len(p.recs))
+	for w := range p.recs {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	var out []FlightStream
+	for _, w := range workers {
+		out = append(out, p.recs[w].Streams(w)...)
+	}
+	p.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Held != out[j].Held {
+			return out[i].Held
+		}
+		return out[i].Trial < out[j].Trial
+	})
+	return out
+}
+
+// Held returns the total pinned streams across workers.
+func (p *FlightPool) Held() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, r := range p.recs {
+		n += r.Held()
+	}
+	return n
+}
+
+// Dump writes the pool's streams in the flight-dump format.
+func (p *FlightPool) Dump(w io.Writer) error {
+	return WriteFlight(w, p.Streams())
+}

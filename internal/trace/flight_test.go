@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+// feedTrial streams a minimal synthetic trial into r: a compute phase
+// and a terminal event at time makespan.
+func feedTrial(r *FlightRecorder, makespan float64) {
+	r.Observe(sim.Event{Time: 0, Kind: sim.EvPhaseStart, Phase: sim.PhaseCompute})
+	r.Observe(sim.Event{Time: makespan, Kind: sim.EvPhaseEnd, Phase: sim.PhaseCompute, Progress: makespan})
+	r.Observe(sim.Event{Time: makespan, Kind: sim.EvComplete, Progress: makespan})
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	r := NewFlightRecorder(FlightOptions{Keep: 3, HoldQuantile: -1})
+	for i := 0; i < 10; i++ {
+		r.BeginTrial(i)
+		feedTrial(r, 1)
+	}
+	streams := r.Streams(0)
+	if len(streams) != 3 {
+		t.Fatalf("ring kept %d streams, want 3", len(streams))
+	}
+	seen := map[int]bool{}
+	for _, s := range streams {
+		if s.Held {
+			t.Fatalf("unexpected held stream %+v", s)
+		}
+		if len(s.Records) != 3 {
+			t.Fatalf("stream %d has %d records, want 3", s.Trial, len(s.Records))
+		}
+		seen[s.Trial] = true
+	}
+	for _, want := range []int{7, 8, 9} {
+		if !seen[want] {
+			t.Fatalf("ring lost trial %d; kept %v", want, seen)
+		}
+	}
+	if r.Held() != 0 {
+		t.Fatalf("held = %d, want 0", r.Held())
+	}
+}
+
+func TestFlightRecorderQuantileHold(t *testing.T) {
+	r := NewFlightRecorder(FlightOptions{Keep: 2, HoldQuantile: 0.9, MinSample: 20})
+	for i := 0; i < 50; i++ {
+		r.BeginTrial(i)
+		feedTrial(r, 1)
+	}
+	if r.Held() != 0 {
+		t.Fatalf("uniform makespans pinned %d streams", r.Held())
+	}
+	r.BeginTrial(50)
+	feedTrial(r, 100) // far beyond p90 of the 1.0s seen so far
+	if r.Held() != 1 {
+		t.Fatalf("outlier not pinned: held = %d", r.Held())
+	}
+	streams := r.Streams(0)
+	if !streams[0].Held || streams[0].Trial != 50 || !strings.Contains(streams[0].Reason, "beyond p90") {
+		t.Fatalf("held stream = %+v", streams[0])
+	}
+}
+
+func TestFlightRecorderJudgeHold(t *testing.T) {
+	calls := 0
+	r := NewFlightRecorder(FlightOptions{HoldQuantile: -1, Judge: func(last sim.Event) (string, bool) {
+		calls++
+		return "invariant violated", calls == 2
+	}})
+	for i := 0; i < 3; i++ {
+		r.BeginTrial(i)
+		feedTrial(r, 1)
+	}
+	if calls != 3 {
+		t.Fatalf("judge consulted %d times, want 3", calls)
+	}
+	if r.Held() != 1 {
+		t.Fatalf("held = %d, want 1", r.Held())
+	}
+	s := r.Streams(0)[0]
+	if s.Trial != 1 || s.Reason != "invariant violated" {
+		t.Fatalf("held stream = %+v", s)
+	}
+}
+
+func TestFlightRecorderMaxHold(t *testing.T) {
+	r := NewFlightRecorder(FlightOptions{MaxHold: 2, HoldQuantile: -1,
+		Judge: func(sim.Event) (string, bool) { return "always", true }})
+	for i := 0; i < 5; i++ {
+		feedTrial(r, 1)
+	}
+	if r.Held() != 2 || r.Dropped() != 3 {
+		t.Fatalf("held/dropped = %d/%d, want 2/3", r.Held(), r.Dropped())
+	}
+}
+
+func TestFlightRecorderUnterminatedHeld(t *testing.T) {
+	r := NewFlightRecorder(FlightOptions{HoldQuantile: -1})
+	r.BeginTrial(0)
+	feedTrial(r, 1)
+	r.BeginTrial(1)
+	// A trial error aborts the stream before its terminal event.
+	r.Observe(sim.Event{Time: 0, Kind: sim.EvPhaseStart, Phase: sim.PhaseCompute})
+	r.Observe(sim.Event{Time: 0.5, Kind: sim.EvFailure, Level: 1})
+	streams := r.Streams(3)
+	if len(streams) != 2 {
+		t.Fatalf("streams = %+v", streams)
+	}
+	h := streams[0]
+	if !h.Held || h.Reason != "unterminated" || h.Trial != 1 || h.Worker != 3 || len(h.Records) != 2 {
+		t.Fatalf("unterminated stream = %+v", h)
+	}
+}
+
+func TestFlightDumpRoundTrip(t *testing.T) {
+	r := NewFlightRecorder(FlightOptions{HoldQuantile: -1,
+		Judge: func(sim.Event) (string, bool) { return "pin", true }})
+	r.BeginTrial(7)
+	feedTrial(r, 2.5)
+	var buf bytes.Buffer
+	if err := WriteFlight(&buf, r.Streams(1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFlight(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 { // the held copy and the ring copy
+		t.Fatalf("round-trip has %d streams, want 2", len(got))
+	}
+	if got[0].Trial != 7 || !got[0].Held || got[0].Reason != "pin" || got[0].Worker != 1 {
+		t.Fatalf("stream 0 = %+v", got[0])
+	}
+	if got[0].Records[2].Kind != "complete" || got[0].Records[2].Time != 2.5 {
+		t.Fatalf("terminal record = %+v", got[0].Records[2])
+	}
+
+	// A plain trace file must be rejected.
+	buf.Reset()
+	rec := &Recorder{Records: []Record{{Kind: "complete"}}}
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFlight(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("ReadFlight accepted a mlckpt-trace file")
+	}
+}
+
+func flightScenario(t *testing.T) sim.Scenario {
+	t.Helper()
+	sys, err := system.ByName("D7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Scenario{
+		System: sys,
+		Plan:   pattern.Plan{Tau0: 1.3, Counts: []int{3}, Levels: []int{1, 2}},
+	}
+}
+
+func TestFlightPoolCampaign(t *testing.T) {
+	pool := &FlightPool{Options: FlightOptions{Keep: 4, HoldQuantile: 0.95, MinSample: 10}}
+	camp := sim.Campaign{
+		Scenario:        flightScenario(t),
+		Trials:          120,
+		Seed:            rng.Campaign(3, "flight").Scenario("D7"),
+		Workers:         4,
+		ObserverFactory: pool.Observer,
+		TrialStart:      pool.TrialStart,
+	}
+	if _, err := camp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	streams := pool.Streams()
+	// 4 workers × ring of 4, plus any quantile holds.
+	if len(streams) < 16 {
+		t.Fatalf("streams = %d, want >= 16", len(streams))
+	}
+	trialSeen := map[int]int{}
+	for i, s := range streams {
+		if s.Trial < 0 || s.Trial >= 120 {
+			t.Fatalf("stream has out-of-range trial %d", s.Trial)
+		}
+		trialSeen[s.Trial]++
+		if last := s.Records[len(s.Records)-1]; last.Kind != "complete" && last.Kind != "capped" {
+			t.Fatalf("stream %d ends with %q", s.Trial, last.Kind)
+		}
+		// Held streams sort first, then trial order within each class.
+		if i > 0 && streams[i-1].Held == s.Held && streams[i-1].Trial > s.Trial {
+			t.Fatalf("streams unsorted at %d: %+v then %+v", i, streams[i-1], s)
+		}
+	}
+	// The ring keeps each worker's LAST trials; with the i%workers
+	// round-robin, trial 119 belongs to worker 119%4=3 and must be
+	// present (either in the ring or held).
+	if trialSeen[119] == 0 {
+		t.Fatal("last trial's stream missing from dump")
+	}
+	var buf bytes.Buffer
+	if err := pool.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFlight(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(streams) {
+		t.Fatalf("dump round-trip: %d streams, want %d", len(got), len(streams))
+	}
+}
+
+func TestFlightObserverDoesNotAllocate(t *testing.T) {
+	eng, err := sim.NewEngine(flightScenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Holds copy the stream (rare by design); disable them to measure
+	// the steady-state recycle path.
+	rec := NewFlightRecorder(FlightOptions{HoldQuantile: -1})
+	eng.Observe(rec)
+	seed := rng.Campaign(3, "flight-alloc").Scenario("D7")
+	// Warm up: let the stream buffer and ring slots reach capacity.
+	for i := 0; i < 24; i++ {
+		if _, err := eng.Run(seed.Trial(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trial := 24
+	avg := testing.AllocsPerRun(10, func() {
+		rec.BeginTrial(trial)
+		if _, err := eng.Run(seed.Trial(trial)); err != nil {
+			t.Fatal(err)
+		}
+		trial++
+	})
+	if avg > 1 {
+		t.Fatalf("flight-observed trial allocates %.1f objects, want ~0", avg)
+	}
+}
