@@ -69,12 +69,18 @@ echo "== go build ./..."
 go build ./...
 echo "== go test ./..."
 go test ./...
-# The sim campaign runner, optimizer sweep, observer pool, and the
-# conformance checker pool are the packages that share state across
-# goroutines; run them (plus the repo root, whose integration test
-# drives them together) under the race detector.
-echo "== go test -race (sim/optimize/obs/eventq shard)"
-go test -race ./internal/sim/ ./internal/optimize/ ./internal/obs/ ./internal/eventq/ .
+# CRN neutrality gate: a paired campaign must leave every arm's
+# marginal result bitwise identical to a standalone campaign on the
+# same seed — at both the sim layer and the experiments layer.
+echo "== go test (CRN golden neutrality)"
+go test -run 'TestPairedCampaignMarginalsBitwiseIdentical' ./internal/sim/
+go test -run 'TestCRNMarginalsMatchStandaloneCampaigns' ./internal/experiments/
+# The sim campaign runner, optimizer sweep, observer pool, the paired
+# stats accumulators, and the conformance checker pool are the packages
+# that share state across goroutines; run them (plus the repo root,
+# whose integration test drives them together) under the race detector.
+echo "== go test -race (sim/optimize/obs/eventq/stats shard)"
+go test -race ./internal/sim/ ./internal/optimize/ ./internal/obs/ ./internal/eventq/ ./internal/stats/ .
 # The conformance suite is statistics-heavy; -short keeps the race pass
 # focused on the Pool/Campaign concurrency without the full sweeps.
 echo "== go test -race -short (conformance)"

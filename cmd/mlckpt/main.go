@@ -12,6 +12,7 @@
 //	mlckpt -system D4
 //	mlckpt -system B -scale-mtbf 15 -scale-pfs 20 -tb 30
 //	mlckpt -mtbf 60 -tb 1440 -probs 0.8,0.2 -times 0.5,5
+//	mlckpt -system D4 -crn -ci-target 0.002   (paired comparison, sequential stopping)
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/conformance"
+	"repro/internal/experiments"
 	"repro/internal/faultlog"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -63,6 +65,8 @@ func run(args []string, stdout io.Writer) error {
 	techs := fs.String("techniques", "dauwe,di,moody,benoit,daly", "comma-separated techniques")
 	list := fs.Bool("list", false, "list registered techniques with their citations and exit")
 	trials := fs.Int("trials", 0, "also simulate each plan over this many trials")
+	crn := fs.Bool("crn", false, "simulate all techniques under common random numbers and report paired comparisons (default 400 trials)")
+	ciTarget := fs.Float64("ci-target", 0, "with -crn, stop once every paired 95% CI half-width is below this (0 = fixed trial count)")
 	check := fs.Bool("check", false, "run every simulated trial under the protocol-invariant checker (fails on any violation; results are bit-identical to unchecked runs)")
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	metricsPath := fs.String("metrics", "", "write a telemetry snapshot (JSON) of the optimizer sweeps and simulations to this file")
@@ -140,7 +144,11 @@ func run(args []string, stdout io.Writer) error {
 	var flightStreams []trace.FlightStream
 	var prog *obs.Progress
 	if *progress {
-		prog = obs.NewProgress(os.Stderr, "mlckpt", int64(len(techNames)**trials))
+		budget := int64(len(techNames) * *trials)
+		if *crn && *trials == 0 {
+			budget = int64(len(techNames)) * 400 // CompareTechniques' default
+		}
+		prog = obs.NewProgress(os.Stderr, "mlckpt", budget)
 		if *progressInterval != 0 {
 			prog.SetInterval(*progressInterval)
 		}
@@ -167,6 +175,43 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(os.Stderr, "mlckpt: telemetry on http://%s/metrics (also /snapshot, /spans, /flight, /debug/pprof/)\n", srv.Addr())
 	} else if sink != nil {
 		stats = obs.NewStreamSet()
+	}
+
+	if *crn {
+		// The paired runner drives every technique through one shared
+		// campaign, so the per-technique conformance and flight-recorder
+		// plumbing below does not apply.
+		if *check || *flightPath != "" {
+			return fmt.Errorf("-crn is incompatible with -check and -flight; run them on individual techniques without -crn")
+		}
+		opt := experiments.Options{
+			Trials:     *trials,
+			Seed:       *seed,
+			CITarget:   *ciTarget,
+			Metrics:    sink,
+			Spans:      tracer,
+			TrialStats: stats,
+		}
+		if prog != nil {
+			opt.TrialDone = prog.Tick
+		}
+		rep, err := experiments.CompareTechniques(sys, techNames, opt)
+		if err != nil {
+			return err
+		}
+		if err := report.VarianceReport(stdout, rep); err != nil {
+			return err
+		}
+		if live != nil {
+			if sink != nil {
+				live.PublishSnapshot(sink.Snapshot())
+			}
+			live.PublishSpans(tracer.Snapshot())
+		}
+		return finish(stdout, *traceSummary, *metricsPath, *memprofile, sink, tracer, stats)
+	}
+	if *ciTarget > 0 {
+		return fmt.Errorf("-ci-target needs -crn (sequential stopping is defined on paired CIs)")
 	}
 
 	tab := report.NewTable("technique", "levels", "plan", "predicted eff", "sim eff (mean±σ)")
@@ -352,32 +397,6 @@ func run(args []string, stdout io.Writer) error {
 	if err := tab.Render(stdout); err != nil {
 		return err
 	}
-	if *traceSummary {
-		fmt.Fprintln(stdout)
-		if err := obs.WriteSpanSummary(stdout, tracer.Snapshot()); err != nil {
-			return err
-		}
-	}
-	if *metricsPath != "" {
-		snap := sink.Snapshot()
-		if tracer != nil {
-			snap.Spans = tracer.Snapshot()
-		}
-		if stats != nil {
-			snap.Stats = stats.Snapshots()
-		}
-		f, err := os.Create(*metricsPath)
-		if err != nil {
-			return err
-		}
-		if err := snap.WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-	}
 	if *flightPath != "" {
 		f, err := os.Create(*flightPath)
 		if err != nil {
@@ -399,8 +418,40 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "flight recorder: %d streams (%d held) written to %s\n",
 			len(flightStreams), held, *flightPath)
 	}
-	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
+	return finish(stdout, *traceSummary, *metricsPath, *memprofile, sink, tracer, stats)
+}
+
+// finish writes the run's shared epilogue artifacts: the span summary,
+// the telemetry snapshot, and the heap profile.
+func finish(stdout io.Writer, traceSummary bool, metricsPath, memprofile string, sink *obs.SimMetrics, tracer *obs.Tracer, stats *obs.StreamSet) error {
+	if traceSummary {
+		fmt.Fprintln(stdout)
+		if err := obs.WriteSpanSummary(stdout, tracer.Snapshot()); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		snap := sink.Snapshot()
+		if tracer != nil {
+			snap.Spans = tracer.Snapshot()
+		}
+		if stats != nil {
+			snap.Stats = stats.Snapshots()
+		}
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
 		if err != nil {
 			return err
 		}

@@ -67,14 +67,54 @@ func TestErrors(t *testing.T) {
 	cases := [][]string{
 		{"-system", "XX"},
 		{"-mtbf", "60"}, // missing probs/times
-		{"-mtbf", "60", "-probs", "1", "-times", "1,2"},  // length mismatch
-		{"-mtbf", "60", "-probs", "abc", "-times", "1"},  // parse error
-		{"-system", "D1", "-techniques", "doesnotexist"}, // unknown technique
-		{"-mtbf", "-5", "-probs", "1", "-times", "1"},    // invalid mtbf
+		{"-mtbf", "60", "-probs", "1", "-times", "1,2"},     // length mismatch
+		{"-mtbf", "60", "-probs", "abc", "-times", "1"},     // parse error
+		{"-system", "D1", "-techniques", "doesnotexist"},    // unknown technique
+		{"-mtbf", "-5", "-probs", "1", "-times", "1"},       // invalid mtbf
+		{"-system", "D4", "-crn", "-check", "-trials", "5"}, // CRN drives one shared runner
+		{"-system", "D4", "-crn", "-flight", "/tmp/x", "-trials", "5"},
+		{"-system", "D4", "-ci-target", "0.01", "-trials", "5"},          // stopping needs -crn
+		{"-system", "D4", "-crn", "-techniques", "daly", "-trials", "5"}, // pairing needs >= 2 arms
 	}
 	for _, args := range cases {
 		if err := run(args, &bytes.Buffer{}); err == nil {
 			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestCRNComparison(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-system", "D4", "-techniques", "di,moody", "-crn", "-trials", "30"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"CRN comparison on D4", "30/30 paired trials", "±Welch CI", "cv corr", "di", "moody"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("CRN output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCRNSequentialStoppingAndMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	var out bytes.Buffer
+	err := run([]string{"-system", "D4", "-techniques", "di,moody", "-crn",
+		"-trials", "200", "-ci-target", "0.01", "-metrics", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "saved") {
+		t.Fatalf("stopping summary missing:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"vr_trials_run_total", "vr_trials_saved_total", "sim_trials_total"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics snapshot missing %q", want)
 		}
 	}
 }

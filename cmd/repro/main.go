@@ -17,6 +17,8 @@
 //	-quiet       suppress per-scenario progress lines
 //	-wall F      per-trial wall-time cap as a multiple of T_B (default 150)
 //	-fast        low-resolution optimizer grids for smoke runs
+//	-crn         common random numbers across each row's techniques
+//	-ci-target W with -crn, sequential stopping at paired CI half-width W
 //	-metrics F   write an aggregate telemetry snapshot (JSON) to file F
 //	-progress    report trials/sec and ETA on stderr while running
 //	-cpuprofile F / -memprofile F   write runtime/pprof profiles
@@ -54,6 +56,8 @@ func run(args []string, stdout io.Writer) error {
 	quiet := fs.Bool("quiet", false, "suppress progress lines")
 	wall := fs.Float64("wall", 0, "trial wall cap as multiple of T_B (0 = default 150)")
 	fast := fs.Bool("fast", false, "low-resolution optimizer grids (smoke runs)")
+	crn := fs.Bool("crn", false, "run each row's techniques under common random numbers (paired significance)")
+	ciTarget := fs.Float64("ci-target", 0, "with -crn, stop each row once every paired 95% CI half-width is below this (0 = fixed trial count)")
 	metricsPath := fs.String("metrics", "", "write an aggregate telemetry snapshot (JSON) to this file")
 	progress := fs.Bool("progress", false, "report trials/sec and ETA on stderr")
 	progressInterval := fs.Duration("progress-interval", 0, "minimum time between -progress lines (0 = default 500ms, negative = every tick)")
@@ -67,11 +71,16 @@ func run(args []string, stdout io.Writer) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: repro [flags] table1|fig1|fig2|fig3|fig4|fig5|fig6|sensitivity|ablation-policy|ablation-weibull|ablation-async|all")
 	}
+	if *ciTarget > 0 && !*crn {
+		return fmt.Errorf("-ci-target needs -crn (sequential stopping is defined on paired CIs)")
+	}
 	opt := experiments.Options{
 		Trials:        *trials,
 		Seed:          *seed,
 		MaxWallFactor: *wall,
 		Fast:          *fast,
+		CRN:           *crn,
+		CITarget:      *ciTarget,
 	}
 	if !*quiet {
 		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }

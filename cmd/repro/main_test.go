@@ -32,6 +32,28 @@ func TestUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-bogus-flag"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("bad flag accepted")
 	}
+	if err := run([]string{"-quiet", "-ci-target", "0.01", "fig5"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-ci-target without -crn accepted")
+	}
+}
+
+func TestFig5CRN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs optimizers and simulations")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-quiet", "-fast", "-trials", "6", "-crn", "fig5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"common random numbers", "CI shrink", "corr"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("CRN fig5 output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "Welch one-sided") {
+		t.Error("CRN fig5 still rendered the unpaired Welch table")
+	}
 }
 
 func TestFig5SmallWithArtifacts(t *testing.T) {

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+// VarianceReport is a head-to-head technique comparison on one system
+// under common random numbers: each technique's optimized plan and
+// marginal campaign result, plus every pairwise paired-difference
+// estimate (and, when control variates are on, the martingale-adjusted
+// refinements).
+type VarianceReport struct {
+	System     string
+	Techniques []string
+	// Cells aligns with Techniques; Sim holds each arm's marginal
+	// result over the trials actually run.
+	Cells []Cell
+	// Paired carries the comparisons, stopping outcome and per-arm
+	// control-variate estimates.
+	Paired sim.PairedResult
+}
+
+// Comparison returns the paired comparison between two techniques by
+// name, or nil if either is absent.
+func (r *VarianceReport) Comparison(a, b string) *sim.ArmComparison {
+	ai, bi := indexOf(r.Techniques, a), indexOf(r.Techniques, b)
+	if ai < 0 || bi < 0 {
+		return nil
+	}
+	return r.Paired.Comparison(ai, bi)
+}
+
+// CompareTechniques optimizes each technique on the system and runs all
+// resulting plans as one CRN paired campaign (Options.CRN is implied;
+// Options.CITarget/CIBatch drive sequential stopping, and control
+// variates are always reported since the comparison exists to squeeze
+// variance). Options.Trials falls back to the paper's Figure 5 count of
+// 400.
+func CompareTechniques(sys *system.System, techs []string, opt Options) (*VarianceReport, error) {
+	if len(techs) < 2 {
+		return nil, fmt.Errorf("experiments: comparing %d technique(s); need at least two", len(techs))
+	}
+	trials := opt.trials(400)
+	out := &VarianceReport{System: sys.Name, Techniques: techs}
+	arms := make([]sim.Scenario, len(techs))
+	for i, tech := range techs {
+		plan, pred, err := optimizePlan(sys, tech, opt)
+		if err != nil {
+			return nil, err
+		}
+		out.Cells = append(out.Cells, Cell{System: sys.Name, Technique: tech, Plan: plan, Predicted: pred})
+		arms[i] = opt.scenarioFor(sys, plan)
+		opt.log("crn %s/%s: plan=%v pred=%.3f", sys.Name, tech, plan, pred.Efficiency)
+	}
+	res, armMetrics, err := opt.runPaired(arms, trials, rng.Campaign(opt.seed(), "crn").Scenario(sys.Name), true)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: crn campaign on %s: %w", sys.Name, err)
+	}
+	for i := range out.Cells {
+		out.Cells[i].Sim = res.Arms[i]
+		if armMetrics != nil {
+			out.Cells[i].Metrics = armMetrics[i]
+		}
+	}
+	out.Paired = *res
+	return out, nil
+}

@@ -70,6 +70,26 @@ type Options struct {
 	// that are safe to snapshot concurrently mid-run (the live /metrics
 	// path): "trial_efficiency" and "trial_walltime_minutes".
 	TrialStats *obs.StreamSet
+	// CRN runs each experiment row's techniques under common random
+	// numbers: every technique in a row shares one scenario seed, so
+	// trial i of every technique faces the same failure realization and
+	// technique differences become paired differences (see DESIGN.md
+	// §2.11). Each technique's marginal campaign result stays bitwise
+	// identical to a standalone campaign with the shared seed; only the
+	// significance machinery changes (paired t instead of unpaired
+	// Welch). Row results gain Paired comparisons.
+	CRN bool
+	// CITarget, with CRN, enables sequential stopping: each row's
+	// campaigns advance in batches until every pairwise paired 95% CI
+	// half-width on mean efficiency is at most CITarget (or the trial
+	// budget runs out). Zero disables stopping. When Metrics is set, the
+	// counters vr_trials_run_total and vr_trials_saved_total record the
+	// per-arm trials executed and the budget the stopping rule left
+	// unrun.
+	CITarget float64
+	// CIBatch is the per-arm batch size between stopping checks
+	// (0 = the sim default of 64).
+	CIBatch int
 }
 
 // fastCounts is the reduced N_i candidate set used in Fast mode.
@@ -213,12 +233,12 @@ func (o Options) runCampaign(camp sim.Campaign) (sim.CampaignResult, *obs.SimMet
 	return res, m, nil
 }
 
-// evaluate optimizes one technique for one system and simulates the
-// resulting plan.
-func evaluate(sys *system.System, techName string, trials int, seed rng.Seed, opt Options) (Cell, error) {
+// optimizePlan runs one technique's optimizer for one system, with the
+// Options' sweep telemetry and spans attached.
+func optimizePlan(sys *system.System, techName string, opt Options) (pattern.Plan, model.Prediction, error) {
 	tech, err := newTechnique(techName, opt.Fast)
 	if err != nil {
-		return Cell{}, err
+		return pattern.Plan{}, model.Prediction{}, err
 	}
 	if opt.Metrics != nil {
 		// Techniques with an instrumented optimizer sweep feed the
@@ -227,8 +247,6 @@ func evaluate(sys *system.System, techName string, trials int, seed rng.Seed, op
 			m.SetSweepMetrics(opt.Metrics.Registry())
 		}
 	}
-	cellSpan := opt.Spans.Start("cell")
-	defer cellSpan.End()
 	var sweepSpans *obs.Tracer
 	if opt.Spans != nil {
 		// The sweep merges its per-worker span shards into a private
@@ -243,18 +261,35 @@ func evaluate(sys *system.System, techName string, trials int, seed rng.Seed, op
 	optSpan.End()
 	optSpan.Adopt(sweepSpans)
 	if err != nil {
-		return Cell{}, fmt.Errorf("%s on %s: optimize: %w", techName, sys.Name, err)
+		return pattern.Plan{}, model.Prediction{}, fmt.Errorf("%s on %s: optimize: %w", techName, sys.Name, err)
+	}
+	return plan, pred, nil
+}
+
+// scenarioFor builds the simulation scenario for one optimized plan.
+func (o Options) scenarioFor(sys *system.System, plan pattern.Plan) sim.Scenario {
+	return sim.Scenario{
+		System:        sys,
+		Plan:          plan,
+		Policy:        sim.RetryPolicy, // the paper's simulations use this for all techniques
+		MaxWallFactor: o.wallFactor(),
+	}
+}
+
+// evaluate optimizes one technique for one system and simulates the
+// resulting plan.
+func evaluate(sys *system.System, techName string, trials int, seed rng.Seed, opt Options) (Cell, error) {
+	cellSpan := opt.Spans.Start("cell")
+	defer cellSpan.End()
+	plan, pred, err := optimizePlan(sys, techName, opt)
+	if err != nil {
+		return Cell{}, err
 	}
 	camp := sim.Campaign{
-		Scenario: sim.Scenario{
-			System:        sys,
-			Plan:          plan,
-			Policy:        sim.RetryPolicy, // the paper's simulations use this for all techniques
-			MaxWallFactor: opt.wallFactor(),
-		},
-		Trials:  trials,
-		Seed:    seed.Scenario(sys.Name + "/" + techName),
-		Workers: opt.Workers,
+		Scenario: opt.scenarioFor(sys, plan),
+		Trials:   trials,
+		Seed:     seed.Scenario(sys.Name + "/" + techName),
+		Workers:  opt.Workers,
 	}
 	res, metrics, err := opt.runCampaign(camp)
 	if err != nil {
@@ -270,6 +305,119 @@ func evaluate(sys *system.System, techName string, trials int, seed rng.Seed, op
 	}, nil
 }
 
+// evaluateRow evaluates every technique of one experiment row. Without
+// CRN each technique runs its own independently seeded campaign (the
+// historical layout) and the returned PairedResult is nil. With CRN the
+// techniques optimize exactly as before, then all plans run as one
+// sim.PairedCampaign on the shared seed.Scenario(sys.Name) — trial i of
+// every technique sees the same failure realization — and the row's
+// paired comparisons ride back alongside the cells.
+func evaluateRow(sys *system.System, techs []string, trials int, seed rng.Seed, opt Options) ([]Cell, *sim.PairedResult, error) {
+	if !opt.CRN {
+		cells := make([]Cell, 0, len(techs))
+		for _, tech := range techs {
+			c, err := evaluate(sys, tech, trials, seed, opt)
+			if err != nil {
+				return nil, nil, err
+			}
+			cells = append(cells, c)
+		}
+		return cells, nil, nil
+	}
+	cells := make([]Cell, len(techs))
+	arms := make([]sim.Scenario, len(techs))
+	for i, tech := range techs {
+		cellSpan := opt.Spans.Start("cell")
+		plan, pred, err := optimizePlan(sys, tech, opt)
+		cellSpan.End()
+		if err != nil {
+			return nil, nil, err
+		}
+		cells[i] = Cell{System: sys.Name, Technique: tech, Plan: plan, Predicted: pred}
+		arms[i] = opt.scenarioFor(sys, plan)
+	}
+	paired, armMetrics, err := opt.runPaired(arms, trials, seed.Scenario(sys.Name), false)
+	if err != nil {
+		return nil, nil, fmt.Errorf("crn row %s: %w", sys.Name, err)
+	}
+	for i := range cells {
+		cells[i].Sim = paired.Arms[i]
+		if armMetrics != nil {
+			cells[i].Metrics = armMetrics[i]
+		}
+	}
+	return cells, paired, nil
+}
+
+// runPaired executes one CRN row with the Options' telemetry hooks: the
+// same per-trial progress ticks and streaming stats as runCampaign, and
+// one obs.SimMetrics pool per arm (campaign spans stay row-granular in
+// CRN mode — per-worker trial spans are not grafted).
+func (o Options) runPaired(arms []sim.Scenario, trials int, seed rng.Seed, controlVariates bool) (*sim.PairedResult, []*obs.SimMetrics, error) {
+	campSpan := o.Spans.Start("paired-campaign")
+	defer campSpan.End()
+	pc := sim.PairedCampaign{
+		Arms:            arms,
+		Trials:          trials,
+		Seed:            seed,
+		Workers:         o.Workers,
+		TargetCI:        o.CITarget,
+		BatchSize:       o.CIBatch,
+		ControlVariates: controlVariates,
+	}
+	if o.TrialDone != nil || o.TrialStats != nil {
+		done := o.TrialDone
+		var eff, wall *obs.StreamStat
+		if o.TrialStats != nil {
+			eff = o.TrialStats.Stat("trial_efficiency")
+			wall = o.TrialStats.Stat("trial_walltime_minutes")
+		}
+		pc.TrialDone = func(arm int, r sim.TrialResult) {
+			if eff != nil {
+				eff.Observe(r.Efficiency)
+				wall.Observe(r.WallTime)
+			}
+			if done != nil {
+				done()
+			}
+		}
+	}
+	var pools []*obs.Pool
+	if o.Metrics != nil || o.CollectMetrics {
+		pools = make([]*obs.Pool, len(arms))
+		for a := range pools {
+			pools[a] = &obs.Pool{}
+		}
+		pc.ObserverFactory = func(arm, worker int) sim.Observer { return pools[arm].Observer(worker) }
+	}
+	res, err := pc.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	if o.Metrics != nil {
+		reg := o.Metrics.Registry()
+		reg.Counter("vr_trials_run_total").Add(uint64(res.TrialsRun * len(arms)))
+		reg.Counter("vr_trials_saved_total").Add(uint64(res.TrialsSaved() * len(arms)))
+	}
+	if pools == nil {
+		return &res, nil, nil
+	}
+	metrics := make([]*obs.SimMetrics, len(arms))
+	for a := range pools {
+		m, err := pools[a].Merged()
+		if err != nil {
+			return nil, nil, err
+		}
+		metrics[a] = m
+		if o.Metrics != nil {
+			if err := o.Metrics.Merge(m); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return &res, metrics, nil
+}
+
 // Fig2Techniques are the five techniques of Figure 2, in plot order.
 var Fig2Techniques = []string{"dauwe", "di", "moody", "benoit", "daly"}
 
@@ -283,6 +431,9 @@ type Fig2Result struct {
 	Techniques []string
 	// Cells indexed [system][technique].
 	Cells [][]Cell
+	// Paired holds each system row's CRN comparison (nil without
+	// Options.CRN), index-aligned with Systems.
+	Paired []*sim.PairedResult
 }
 
 // Fig2 runs the Figure 2 experiment.
@@ -293,17 +444,18 @@ func Fig2(opt Options) (*Fig2Result, error) {
 	out := &Fig2Result{Techniques: Fig2Techniques}
 	for _, sys := range systems {
 		out.Systems = append(out.Systems, sys.Name)
-		row := make([]Cell, 0, len(Fig2Techniques))
-		for _, tech := range Fig2Techniques {
-			c, err := evaluate(sys, tech, trials, seed, opt)
-			if err != nil {
-				return nil, err
-			}
+		row, paired, err := evaluateRow(sys, Fig2Techniques, trials, seed, opt)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range row {
 			opt.log("fig2 %s/%s: sim=%.3f±%.3f pred=%.3f plan=%v",
-				sys.Name, tech, c.Sim.Efficiency.Mean, c.Sim.Efficiency.Std, c.Predicted.Efficiency, c.Plan)
-			row = append(row, c)
+				sys.Name, c.Technique, c.Sim.Efficiency.Mean, c.Sim.Efficiency.Std, c.Predicted.Efficiency, c.Plan)
 		}
 		out.Cells = append(out.Cells, row)
+		if opt.CRN {
+			out.Paired = append(out.Paired, paired)
+		}
 	}
 	return out, nil
 }
@@ -327,17 +479,15 @@ func Fig3(opt Options) (*Fig3Result, error) {
 	out := &Fig3Result{Techniques: BestTechniques}
 	for _, sys := range systems {
 		out.Systems = append(out.Systems, sys.Name)
-		row := make([]Cell, 0, len(BestTechniques))
-		for _, tech := range BestTechniques {
-			c, err := evaluate(sys, tech, trials, seed, opt)
-			if err != nil {
-				return nil, err
-			}
+		row, _, err := evaluateRow(sys, BestTechniques, trials, seed, opt)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range row {
 			b := c.Sim.BreakdownShare
 			opt.log("fig3 %s/%s: useful=%.1f%% lost=%.1f%% ckpt=%.1f%%/%.1f%% restart=%.1f%%/%.1f%%",
-				sys.Name, tech, 100*b.UsefulCompute, 100*b.LostCompute,
+				sys.Name, c.Technique, 100*b.UsefulCompute, 100*b.LostCompute,
 				100*b.CheckpointOK, 100*b.CheckpointFail, 100*b.RestartOK, 100*b.RestartFail)
-			row = append(row, c)
 		}
 		out.Cells = append(out.Cells, row)
 	}
@@ -389,6 +539,9 @@ type Fig4Result struct {
 	Techniques []string
 	// Cells indexed [scenario][technique].
 	Cells [][]Cell
+	// Paired holds each scenario row's CRN comparison (nil without
+	// Options.CRN), index-aligned with Scenarios.
+	Paired []*sim.PairedResult
 }
 
 // Fig4 runs the Figure 4 experiment.
@@ -405,8 +558,13 @@ type Fig5Result struct {
 	Techniques []string
 	Cells      [][]Cell
 	// DauweBeatsMoody[i] reports, for scenario i, whether Dauwe's mean
-	// efficiency exceeds Moody's with 95 % one-sided confidence.
+	// efficiency exceeds Moody's with 95 % one-sided confidence —
+	// unpaired Welch normally, the far sharper paired t under
+	// Options.CRN.
 	DauweBeatsMoody []bool
+	// Paired holds each scenario row's CRN comparison (nil without
+	// Options.CRN).
+	Paired []*sim.PairedResult
 }
 
 // Fig5 runs the Figure 5 experiment.
@@ -415,12 +573,22 @@ func Fig5(opt Options) (*Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig5Result{Scenarios: grid.Scenarios, Techniques: grid.Techniques, Cells: grid.Cells}
+	out := &Fig5Result{Scenarios: grid.Scenarios, Techniques: grid.Techniques, Cells: grid.Cells, Paired: grid.Paired}
 	di := indexOf(grid.Techniques, "dauwe")
 	mi := indexOf(grid.Techniques, "moody")
 	for i := range out.Cells {
-		sig, err := stats.SignificantlyGreater(
-			out.Cells[i][di].Sim.Efficiency, out.Cells[i][mi].Sim.Efficiency, 0.95)
+		var sig bool
+		var err error
+		if opt.CRN {
+			// Under CRN the per-trial efficiencies are index-aligned
+			// (trial i of both arms shared one failure realization), so
+			// the one-sided verdict comes from the paired t test.
+			sig, err = stats.SignificantlyGreaterPaired(
+				out.Cells[i][di].Sim.Efficiencies, out.Cells[i][mi].Sim.Efficiencies, 0.95)
+		} else {
+			sig, err = stats.SignificantlyGreater(
+				out.Cells[i][di].Sim.Efficiency, out.Cells[i][mi].Sim.Efficiency, 0.95)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -446,18 +614,20 @@ func exascaleGrid(opt Options, name string, pfsCosts []float64, tb float64, tria
 	seed := rng.Campaign(opt.seed(), name)
 	out := &Fig4Result{Scenarios: scens, Techniques: BestTechniques}
 	for _, sc := range scens {
-		row := make([]Cell, 0, len(BestTechniques))
-		for _, tech := range BestTechniques {
-			c, err := evaluate(sc.System, tech, trials, seed, opt)
-			if err != nil {
-				return nil, err
-			}
-			c.System = sc.Label()
+		row, paired, err := evaluateRow(sc.System, BestTechniques, trials, seed, opt)
+		if err != nil {
+			return nil, err
+		}
+		for i := range row {
+			row[i].System = sc.Label()
+			c := &row[i]
 			opt.log("%s %s/%s: sim=%.3f±%.3f pred=%.3f plan=%v",
-				name, sc.Label(), tech, c.Sim.Efficiency.Mean, c.Sim.Efficiency.Std, c.Predicted.Efficiency, c.Plan)
-			row = append(row, c)
+				name, sc.Label(), c.Technique, c.Sim.Efficiency.Mean, c.Sim.Efficiency.Std, c.Predicted.Efficiency, c.Plan)
 		}
 		out.Cells = append(out.Cells, row)
+		if opt.CRN {
+			out.Paired = append(out.Paired, paired)
+		}
 	}
 	return out, nil
 }

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/stats"
 	"repro/internal/svg"
 	"repro/internal/system"
 )
@@ -180,17 +181,84 @@ func Fig5(w io.Writer, r *experiments.Fig5Result) error {
 	if err := Fig4(w, grid, "Figure 5 — 30-minute application on the exascale grid"); err != nil {
 		return err
 	}
+	di := techniqueIndex(r.Techniques, "dauwe")
+	mi := techniqueIndex(r.Techniques, "moody")
+	if r.Paired != nil {
+		// CRN runs certify the claim with the paired t test and can
+		// show how much sharper it is than the unpaired yardstick.
+		if _, err := fmt.Fprintln(w, "\nPaired one-sided 95% test under common random numbers: Dauwe > Moody?"); err != nil {
+			return err
+		}
+		t := NewTable("scenario", "dauwe mean", "moody mean", "diff", "±CI", "corr", "CI shrink", "significant")
+		for i, sc := range r.Scenarios {
+			c := r.Paired[i].Comparison(di, mi)
+			if c == nil {
+				return fmt.Errorf("report: scenario %s lacks the dauwe/moody paired comparison", sc.Label())
+			}
+			diff := c.MeanDiff
+			if c.A != di {
+				diff = -diff
+			}
+			t.AddRow(sc.Label(),
+				f3(r.Cells[i][di].Sim.Efficiency.Mean),
+				f3(r.Cells[i][mi].Sim.Efficiency.Mean),
+				fmt.Sprintf("%+.4f", diff),
+				fmt.Sprintf("%.4f", c.CIHalf),
+				fmt.Sprintf("%.3f", c.Corr),
+				fmt.Sprintf("%.1fx", c.WelchCIHalf/c.CIHalf),
+				fmt.Sprintf("%v", r.DauweBeatsMoody[i]))
+		}
+		return t.Render(w)
+	}
 	if _, err := fmt.Fprintln(w, "\nWelch one-sided 95% test: Dauwe > Moody?"); err != nil {
 		return err
 	}
 	t := NewTable("scenario", "dauwe mean", "moody mean", "significant")
-	di := techniqueIndex(r.Techniques, "dauwe")
-	mi := techniqueIndex(r.Techniques, "moody")
 	for i, sc := range r.Scenarios {
 		t.AddRow(sc.Label(),
 			f3(r.Cells[i][di].Sim.Efficiency.Mean),
 			f3(r.Cells[i][mi].Sim.Efficiency.Mean),
 			fmt.Sprintf("%v", r.DauweBeatsMoody[i]))
+	}
+	return t.Render(w)
+}
+
+// VarianceReport renders a CRN technique comparison: marginal means,
+// every pairwise paired difference with its shrinkage diagnostics, the
+// martingale control-variate refinements, and the stopping outcome.
+func VarianceReport(w io.Writer, r *experiments.VarianceReport) error {
+	if _, err := fmt.Fprintf(w, "CRN comparison on %s — %d/%d paired trials (saved %d)\n",
+		r.System, r.Paired.TrialsRun, r.Paired.Budget, r.Paired.TrialsSaved()); err != nil {
+		return err
+	}
+	mt := NewTable("technique", "plan", "sim mean±σ", "cv mean", "cv σ", "cv corr")
+	for i, c := range r.Cells {
+		cv := r.Paired.ArmCV[i]
+		mt.AddRow(c.Technique, c.Plan.String(),
+			fmt.Sprintf("%s±%s", f3(c.Sim.Efficiency.Mean), f3(c.Sim.Efficiency.Std)),
+			fmt.Sprintf("%.4f", cv.Mean), fmt.Sprintf("%.4f", cv.Std), fmt.Sprintf("%.2f", cv.Corr))
+	}
+	if err := mt.Render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "\nPairwise paired differences (mean A − mean B, 95% CI)"); err != nil {
+		return err
+	}
+	t := NewTable("A", "B", "diff", "±CI", "±Welch CI", "CI shrink", "corr", "verdict")
+	for _, c := range r.Paired.Comparisons {
+		verdict := "tie"
+		if c.AGreater() {
+			verdict = r.Techniques[c.A] + " > " + r.Techniques[c.B]
+		} else if c.BGreater() {
+			verdict = r.Techniques[c.B] + " > " + r.Techniques[c.A]
+		}
+		t.AddRow(r.Techniques[c.A], r.Techniques[c.B],
+			fmt.Sprintf("%+.5f", c.MeanDiff),
+			fmt.Sprintf("%.5f", c.CIHalf),
+			fmt.Sprintf("%.5f", c.WelchCIHalf),
+			fmt.Sprintf("%.1fx", c.WelchCIHalf/c.CIHalf),
+			fmt.Sprintf("%.3f", c.Corr),
+			verdict)
 	}
 	return t.Render(w)
 }
@@ -223,18 +291,32 @@ func Fig6(w io.Writer, r *experiments.Fig6Result) error {
 }
 
 // CellsCSV writes any cell grid as CSV rows:
-// scenario,technique,sim_mean,sim_std,predicted,plan.
+// scenario,technique,sim_mean,sim_std,predicted,pred_error,sim_p05,
+// sim_median,sim_p95,plan. The three efficiency quantiles come from one
+// stats.Quantiles call per cell (one sort, not one per quantile).
 func CellsCSV(w io.Writer, scenarios []string, techniques []string, cells [][]experiments.Cell) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"scenario", "technique", "sim_mean", "sim_std", "predicted", "pred_error", "plan"}); err != nil {
+	if err := cw.Write([]string{"scenario", "technique", "sim_mean", "sim_std", "predicted", "pred_error",
+		"sim_p05", "sim_median", "sim_p95", "plan"}); err != nil {
 		return err
 	}
 	for i, sc := range scenarios {
 		for _, c := range cells[i] {
+			// Cells built from summaries alone (no per-trial data) get
+			// blank quantile columns.
+			q := []string{"", "", ""}
+			if len(c.Sim.Efficiencies) > 0 {
+				qs, err := stats.Quantiles(c.Sim.Efficiencies, 0.05, 0.5, 0.95)
+				if err != nil {
+					return fmt.Errorf("report: %s/%s efficiency quantiles: %w", sc, c.Technique, err)
+				}
+				q = []string{f3(qs[0]), f3(qs[1]), f3(qs[2])}
+			}
 			rec := []string{
 				sc, c.Technique,
 				f3(c.Sim.Efficiency.Mean), f3(c.Sim.Efficiency.Std),
 				f3(c.Predicted.Efficiency), fmt.Sprintf("%+.4f", c.PredictionError()),
+				q[0], q[1], q[2],
 				c.Plan.String(),
 			}
 			if err := cw.Write(rec); err != nil {

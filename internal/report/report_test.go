@@ -147,6 +147,69 @@ func TestFig5Render(t *testing.T) {
 	}
 }
 
+func TestFig5PairedRender(t *testing.T) {
+	g := fakeGrid()
+	paired := func(diff float64) *sim.PairedResult {
+		return &sim.PairedResult{
+			TrialsRun: 40, Budget: 40, Level: 0.95,
+			Comparisons: []sim.ArmComparison{
+				{A: 0, B: 1, Comparison: stats.Comparison{N: 40, MeanDiff: diff, CIHalf: 0.001, WelchCIHalf: 0.008, Corr: 0.97, T: 3, P: 0.002, Level: 0.95}},
+				{A: 0, B: 2, Comparison: stats.Comparison{N: 40, MeanDiff: diff, CIHalf: 0.001, WelchCIHalf: 0.008, Corr: 0.97, T: 3, P: 0.002, Level: 0.95}},
+				{A: 1, B: 2, Comparison: stats.Comparison{N: 40, MeanDiff: 0, CIHalf: 0.001, WelchCIHalf: 0.008, Corr: 0.97, T: 0.2, P: 0.8, Level: 0.95}},
+			},
+		}
+	}
+	r := &experiments.Fig5Result{
+		Scenarios: g.Scenarios, Techniques: g.Techniques, Cells: g.Cells,
+		DauweBeatsMoody: []bool{true, false},
+		Paired:          []*sim.PairedResult{paired(0.004), paired(0.0001)},
+	}
+	var buf bytes.Buffer
+	if err := Fig5(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"common random numbers", "CI shrink", "8.0x", "0.970", "+0.0040"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("paired Fig5 output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Welch one-sided") {
+		t.Error("paired Fig5 still rendered the unpaired Welch table")
+	}
+}
+
+func TestVarianceReportRender(t *testing.T) {
+	r := &experiments.VarianceReport{
+		System:     "D4",
+		Techniques: []string{"dauwe", "di"},
+		Cells: []experiments.Cell{
+			cell("D4", "dauwe", 0.6, 0.61),
+			cell("D4", "di", 0.58, 0.65),
+		},
+		Paired: sim.PairedResult{
+			TrialsRun: 24, Budget: 400, Level: 0.95,
+			Comparisons: []sim.ArmComparison{
+				{A: 0, B: 1, Comparison: stats.Comparison{N: 24, MeanDiff: 0.02, CIHalf: 0.002, WelchCIHalf: 0.013, Corr: 0.98, T: 9, P: 1e-8, Level: 0.95}},
+			},
+			ArmCV: []stats.CVResult{
+				{N: 24, Mean: 0.601, Std: 0.01, Corr: -0.6, RawMean: 0.6, RawStd: 0.014},
+				{N: 24, Mean: 0.581, Std: 0.01, Corr: -0.55, RawMean: 0.58, RawStd: 0.014},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := VarianceReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"24/400 paired trials (saved 376)", "6.5x", "dauwe > di", "cv corr", "-0.60"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("variance report missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestFig6Render(t *testing.T) {
 	r := &experiments.Fig6Result{
 		Techniques: []string{"dauwe", "di", "moody"},

@@ -92,31 +92,59 @@ type CampaignResult struct {
 // aggregate deterministic for a given Campaign.Seed regardless of
 // scheduling, worker count, or engine reuse.
 func (c Campaign) Run() (CampaignResult, error) {
-	if c.Trials <= 0 {
-		return CampaignResult{}, errors.New("sim: campaign needs at least one trial")
-	}
-	if err := c.Scenario.Validate(); err != nil {
+	if err := c.validate(); err != nil {
 		return CampaignResult{}, err
 	}
-	if c.Workers < 0 {
-		return CampaignResult{}, fmt.Errorf("sim: negative Workers %d", c.Workers)
-	}
-	if c.Workers > maxWorkers {
-		return CampaignResult{}, fmt.Errorf("sim: Workers %d exceeds limit %d", c.Workers, maxWorkers)
-	}
-	workers := c.Workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > c.Trials {
-		workers = c.Trials
-	}
-
 	L := c.Scenario.System.NumLevels()
 	results := make([]TrialResult, c.Trials)
 	// Engines return their Failures slice as reusable scratch; each
 	// trial's counts are copied into one flat campaign-owned buffer.
 	failBuf := make([]int, c.Trials*L)
+	if err := c.runRange(0, results, failBuf); err != nil {
+		return CampaignResult{}, err
+	}
+	return c.aggregate(results), nil
+}
+
+// validate checks the campaign's invariants (shared by Run and
+// PairedCampaign.Run).
+func (c Campaign) validate() error {
+	if c.Trials <= 0 {
+		return errors.New("sim: campaign needs at least one trial")
+	}
+	if err := c.Scenario.Validate(); err != nil {
+		return err
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sim: negative Workers %d", c.Workers)
+	}
+	if c.Workers > maxWorkers {
+		return fmt.Errorf("sim: Workers %d exceeds limit %d", c.Workers, maxWorkers)
+	}
+	return nil
+}
+
+// runRange executes trials [first, first+len(results)) of the scenario,
+// storing trial first+k into results[k]. failBuf must hold
+// len(results)*NumLevels ints; it receives each trial's per-severity
+// failure counts (results alias it). The campaign must already be
+// validated. Seeding stays per-absolute-trial (Seed.Trial(first+k)), so
+// splitting a campaign into ranges — as the paired CRN runner's
+// sequential batches do — reproduces exactly the trials a single
+// full-range run would produce.
+func (c Campaign) runRange(first int, results []TrialResult, failBuf []int) error {
+	n := len(results)
+	if n == 0 {
+		return nil
+	}
+	L := c.Scenario.System.NumLevels()
+	workers := c.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
 	// A failed trial poisons the whole campaign, so it cancels the
 	// remaining trials on every worker instead of letting them burn
 	// through the full campaign before Run can report it. Cancellation is
@@ -162,12 +190,13 @@ func (c Campaign) Run() (CampaignResult, error) {
 			if err != nil {
 				// Attribute construction errors to the worker's first
 				// trial so they order deterministically with trial errors.
-				record(w, err)
+				record(first+w, err)
 				return
 			}
 			eng.Observe(obs)
 			eng.Control(c.ControllerFactory)
-			for i := w; i < c.Trials; i += workers {
+			for rel := w; rel < n; rel += workers {
+				i := first + rel
 				if firstBad.Load() < int64(i) {
 					return
 				}
@@ -188,10 +217,10 @@ func (c Campaign) Run() (CampaignResult, error) {
 					record(i, fmt.Errorf("trial %d: %w", i, err))
 					return
 				}
-				fails := failBuf[i*L : (i+1)*L]
+				fails := failBuf[rel*L : (rel+1)*L]
 				copy(fails, r.Failures)
 				r.Failures = fails
-				results[i] = r
+				results[rel] = r
 				if c.TrialDone != nil {
 					c.TrialDone(r)
 				}
@@ -200,19 +229,27 @@ func (c Campaign) Run() (CampaignResult, error) {
 	}
 	wg.Wait()
 	if len(failures) > 0 {
-		first := failures[0]
+		worst := failures[0]
 		for _, f := range failures[1:] {
-			if f.trial < first.trial {
-				first = f
+			if f.trial < worst.trial {
+				worst = f
 			}
 		}
-		return CampaignResult{}, first.err
+		return worst.err
 	}
+	return nil
+}
 
-	out := CampaignResult{Trials: c.Trials}
+// aggregate folds per-trial results into a CampaignResult, exactly as a
+// single Campaign.Run would: trial order, Welford accumulation order and
+// normalization are all fixed, so any runner that produced the same
+// TrialResults — batched or not — aggregates bitwise-identically.
+func (c Campaign) aggregate(results []TrialResult) CampaignResult {
+	L := c.Scenario.System.NumLevels()
+	out := CampaignResult{Trials: len(results)}
 	var eff, wall stats.Sample
 	out.MeanFailures = make([]float64, L)
-	out.Efficiencies = make([]float64, c.Trials)
+	out.Efficiencies = make([]float64, len(results))
 	for i := range results {
 		r := &results[i]
 		eff.Add(r.Efficiency)
@@ -227,7 +264,7 @@ func (c Campaign) Run() (CampaignResult, error) {
 		}
 		out.MeanScratchRestarts += float64(r.ScratchRestarts)
 	}
-	n := float64(c.Trials)
+	n := float64(len(results))
 	out.MeanBreakdown.Scale(1 / n)
 	for s := range out.MeanFailures {
 		out.MeanFailures[s] /= n
@@ -239,5 +276,5 @@ func (c Campaign) Run() (CampaignResult, error) {
 		out.BreakdownShare = out.MeanBreakdown
 		out.BreakdownShare.Scale(1 / total)
 	}
-	return out, nil
+	return out
 }

@@ -16,6 +16,12 @@ import (
 // were supplied.
 var ErrTooFewSamples = errors.New("stats: too few samples")
 
+// ErrNonFinite is returned when an input summary or sample carries NaN
+// or ±Inf moments. Significance verdicts must fail loudly on such
+// inputs: a NaN silently compares as "not significant", which is the
+// exact opposite of what a poisoned campaign should report.
+var ErrNonFinite = errors.New("stats: non-finite input")
+
 // Sample accumulates observations using Welford's online algorithm, which
 // stays numerically stable for the long campaigns the experiment runner
 // produces.
@@ -84,9 +90,13 @@ func (s *Sample) StdErr() float64 {
 }
 
 // Merge combines another sample into s (parallel reduction), using the
-// Chan et al. pairwise update.
+// Chan et al. pairwise update. Merging a sample into itself is a no-op:
+// in a reduction tree an aliased merge is always a bookkeeping slip, and
+// silently doubling n and m2 would corrupt the variance (m2/(n-1) is not
+// alias-invariant) while leaving the mean plausible — the worst kind of
+// wrong.
 func (s *Sample) Merge(o *Sample) {
-	if o.n == 0 {
+	if s == o || o.n == 0 {
 		return
 	}
 	if s.n == 0 {
@@ -156,21 +166,56 @@ func Std(xs []float64) float64 {
 }
 
 // Quantile returns the q-th empirical quantile (linear interpolation,
-// type 7). xs need not be sorted; it is not modified.
+// type 7). xs need not be sorted; it is not modified. Callers that need
+// several quantiles of the same sample should use Quantiles (one sort)
+// or sort once themselves and call SortedQuantile — this convenience
+// wrapper copies and sorts on every call.
 func Quantile(xs []float64, q float64) (float64, error) {
 	if len(xs) == 0 {
+		return 0, ErrTooFewSamples
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return SortedQuantile(sorted, q)
+}
+
+// SortedQuantile returns the q-th empirical quantile (linear
+// interpolation, type 7) of an ascending-sorted sample, without copying
+// or re-sorting. Passing unsorted data yields garbage; use Quantile or
+// Quantiles when sortedness is not already guaranteed.
+func SortedQuantile(sorted []float64, q float64) (float64, error) {
+	if len(sorted) == 0 {
 		return 0, ErrTooFewSamples
 	}
 	if !(q >= 0 && q <= 1) { // negated so NaN is rejected too
 		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	frac := pos - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Quantiles returns the empirical quantile at each of qs, sorting the
+// sample exactly once. Report and experiment loops that extract several
+// quantiles per cell use this instead of repeated Quantile calls (which
+// would copy and sort the sample per quantile).
+func Quantiles(xs []float64, qs ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrTooFewSamples
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		v, err := SortedQuantile(sorted, q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // WelchResult reports a two-sample Welch t-test.
@@ -182,10 +227,18 @@ type WelchResult struct {
 
 // WelchT performs Welch's unequal-variance t-test between two samples.
 // The paper uses this (at 95 % confidence) to certify the Figure 5
-// improvements. Both samples need at least two observations.
+// improvements. Both samples need at least two observations; NaN or
+// infinite moments are rejected with ErrNonFinite rather than silently
+// propagating into the verdict.
 func WelchT(a, b Summary) (WelchResult, error) {
 	if a.N < 2 || b.N < 2 {
 		return WelchResult{}, fmt.Errorf("%w: n=%d,%d", ErrTooFewSamples, a.N, b.N)
+	}
+	if err := checkFinite(a); err != nil {
+		return WelchResult{}, err
+	}
+	if err := checkFinite(b); err != nil {
+		return WelchResult{}, err
 	}
 	va := a.Std * a.Std / float64(a.N)
 	vb := b.Std * b.Std / float64(b.N)
@@ -202,11 +255,17 @@ func WelchT(a, b Summary) (WelchResult, error) {
 	df := (va + vb) * (va + vb) /
 		(va*va/float64(a.N-1) + vb*vb/float64(b.N-1))
 	p := 2 * studentTSF(math.Abs(t), df)
+	if math.IsNaN(df) || df <= 0 || math.IsNaN(p) {
+		// Degenerate degrees of freedom or a NaN p-value would otherwise
+		// flow into comparisons as "not significant"; surface it instead.
+		return WelchResult{}, fmt.Errorf("%w: welch t=%v df=%v p=%v", ErrNonFinite, t, df, p)
+	}
 	return WelchResult{T: t, DF: df, P: p}, nil
 }
 
 // SignificantlyGreater reports whether sample a's mean exceeds sample b's
-// with one-sided confidence at the given level (e.g. 0.95).
+// with one-sided confidence at the given level (e.g. 0.95). NaN inputs
+// are an error, never a silent false.
 func SignificantlyGreater(a, b Summary, level float64) (bool, error) {
 	r, err := WelchT(a, b)
 	if err != nil {
@@ -216,6 +275,14 @@ func SignificantlyGreater(a, b Summary, level float64) (bool, error) {
 		return false, nil
 	}
 	return r.P/2 < 1-level, nil
+}
+
+// checkFinite rejects summaries whose moments are NaN or infinite.
+func checkFinite(s Summary) error {
+	if math.IsNaN(s.Mean) || math.IsInf(s.Mean, 0) || math.IsNaN(s.Std) || math.IsInf(s.Std, 0) {
+		return fmt.Errorf("%w: mean=%v std=%v", ErrNonFinite, s.Mean, s.Std)
+	}
+	return nil
 }
 
 func sign(x float64) int {
