@@ -9,8 +9,52 @@
 #   ./check.sh smoke    only the live-telemetry smoke: serve mlckpt
 #                       -listen, scrape /metrics + /snapshot mid-run,
 #                       assert exposition-format and JSON validity
+#   ./check.sh stream   only the streaming-sink gates: the constant-
+#                       memory max-RSS guard (1e4 vs 1e6 trials, see
+#                       BENCH_stream.json) and the kill -9 resume gate
 set -eu
 cd "$(dirname "$0")"
+
+# resume_gate: reference run, checkpointed run killed with SIGKILL
+# mid-campaign, resumed run — the resumed JSON must be byte-identical
+# to the uninterrupted reference (floats marshal as shortest round-trip
+# decimals, so byte equality is bit equality).
+resume_gate() {
+    echo "== resume gate (run, kill -9 mid-campaign, resume, compare)"
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    go build -o "$tmp/mlckpt" ./cmd/mlckpt
+    args="-mtbf 200 -tb 600 -probs 1 -times 0.5 -techniques daly \
+          -trials 1000000 -stream -json"
+    # shellcheck disable=SC2086
+    "$tmp/mlckpt" $args >"$tmp/ref.json"
+    # shellcheck disable=SC2086
+    "$tmp/mlckpt" $args -checkpoint "$tmp/ck" -checkpoint-interval 20000 \
+        >"$tmp/killed.json" 2>/dev/null &
+    pid=$!
+    sleep 1.5
+    if kill -9 "$pid" 2>/dev/null; then
+        wait "$pid" 2>/dev/null || true
+        echo "killed mid-campaign; checkpoints: $(ls "$tmp/ck" | tr '\n' ' ')"
+    else
+        # Fast machine finished first: the gate degrades to a resume-of-
+        # completed check, which must still reproduce the reference.
+        wait "$pid" 2>/dev/null || true
+        echo "WARNING: campaign finished before the kill; resume gate is resume-of-completed only" >&2
+    fi
+    # shellcheck disable=SC2086
+    "$tmp/mlckpt" $args -checkpoint "$tmp/ck" -resume >"$tmp/resumed.json"
+    cmp "$tmp/ref.json" "$tmp/resumed.json"
+    echo "resumed campaign byte-identical to uninterrupted run"
+}
+
+if [ "${1:-}" = "stream" ]; then
+    echo "== constant-memory stream guard (max RSS, 1e4 vs 1e6 trials)"
+    MLCKPT_RSS_GUARD=1 go test -run 'TestStreamConstantMemory' -count=1 -v ./cmd/mlckpt/
+    resume_gate
+    echo "OK"
+    exit 0
+fi
 
 # smoke: build mlckpt, run a long campaign behind -listen, and scrape
 # the live endpoints while trials are still streaming. Asserts that

@@ -16,10 +16,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -77,8 +79,54 @@ func run(args []string, stdout io.Writer) error {
 	flightPath := fs.String("flight", "", "write the trial flight-recorder dump (recent + anomalous event streams) to this file; read it back with simtrace -flight")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
+	jsonOut := fs.Bool("json", false, "write machine-readable JSON results to stdout instead of the human-readable rendering")
+	outPath := fs.String("out", "", "also write the machine-readable JSON results to this path")
+	streamSim := fs.Bool("stream", false, "aggregate simulations in constant memory (sketch-backed summaries instead of per-trial slices)")
+	ckptDir := fs.String("checkpoint", "", "checkpoint each technique's campaign into this directory (resume with -resume)")
+	ckptInterval := fs.Int("checkpoint-interval", 0, "trials between checkpoint writes (0 = trials/8, at least 1)")
+	resume := fs.Bool("resume", false, "with -checkpoint, resume each campaign from its checkpoint file when present")
+	shardSpec := fs.String("shard", "", "run only shard k/N of each campaign (e.g. 1/4) and write a mergeable shard file under -shard-dir")
+	shardDir := fs.String("shard-dir", "", "directory for shard files (required by -shard and -merge-shards)")
+	mergeShards := fs.Int("merge-shards", 0, "merge N previously written shard files per technique from -shard-dir and report the combined results")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	shardK, shardN, err := parseShard(*shardSpec)
+	if err != nil {
+		return err
+	}
+	if shardN > 0 || *mergeShards > 0 {
+		if *shardDir == "" {
+			return fmt.Errorf("-shard and -merge-shards need -shard-dir")
+		}
+		if *trials <= 0 {
+			return fmt.Errorf("-shard and -merge-shards need -trials")
+		}
+		if *crn || *check || *flightPath != "" {
+			return fmt.Errorf("-shard/-merge-shards are incompatible with -crn, -check and -flight")
+		}
+		if *ckptDir != "" {
+			return fmt.Errorf("-shard runs do not take -checkpoint (the shard file is the checkpoint)")
+		}
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume needs -checkpoint")
+	}
+	if *ckptDir != "" && *trials <= 0 {
+		return fmt.Errorf("-checkpoint needs -trials")
+	}
+	if *jsonOut && *crn {
+		return fmt.Errorf("-json is not supported with -crn yet; use the variance report")
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return err
+		}
+	}
+	if shardN > 0 {
+		if err := os.MkdirAll(*shardDir, 0o755); err != nil {
+			return err
+		}
 	}
 	if *list {
 		return listTechniques(stdout)
@@ -116,13 +164,17 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, diag)
+		if !*jsonOut {
+			fmt.Fprintln(stdout, diag)
+		}
 		sys = refit
 	}
 	if err := sys.Validate(); err != nil {
 		return err
 	}
-	fmt.Fprintln(stdout, sys)
+	if !*jsonOut {
+		fmt.Fprintln(stdout, sys)
+	}
 
 	techNames := []string{}
 	for _, name := range strings.Split(*techs, ",") {
@@ -215,6 +267,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	tab := report.NewTable("technique", "levels", "plan", "predicted eff", "sim eff (mean±σ)")
+	results := runResults{System: sys.Name, Trials: *trials, Seed: *seed}
 	for _, name := range techNames {
 		tech, err := model.New(name)
 		if err != nil {
@@ -247,135 +300,187 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		simCol := ""
+		var simRes *sim.CampaignResult
+		shardFile := ""
 		if *trials > 0 {
 			camp := sim.Campaign{
 				Scenario: sim.Scenario{System: sys, Plan: plan},
 				Trials:   *trials,
 				Seed:     rng.Campaign(*seed, "mlckpt").Scenario(sys.Name + "/" + name),
 			}
-			var pool *obs.Pool
-			if sink != nil {
-				pool = &obs.Pool{}
+			if *streamSim {
+				camp.Sink = sim.NewStreamSink()
 			}
-			var ckPool *conformance.Pool
-			if *check {
-				ckPool, err = conformance.NewPool(camp.Scenario)
+			if *ckptDir != "" {
+				iv := *ckptInterval
+				if iv <= 0 {
+					if iv = *trials / 8; iv < 1 {
+						iv = 1
+					}
+				}
+				camp.Checkpoint = &sim.CheckpointConfig{
+					Path:     filepath.Join(*ckptDir, cellFile(sys.Name, name)+".ckpt"),
+					Interval: iv,
+					Resume:   *resume,
+				}
+			}
+			if shardN > 0 {
+				spath := shardPath(*shardDir, sys.Name, name, shardK, shardN)
+				campSpan := tracer.Start("campaign")
+				err := camp.RunShard(spath, shardK, shardN)
+				campSpan.End()
 				if err != nil {
-					return fmt.Errorf("%s: %w", name, err)
+					return fmt.Errorf("%s: shard %d/%d: %w", name, shardK, shardN, err)
 				}
-			}
-			var flightPool *trace.FlightPool
-			if flightOn {
-				flightPool = &trace.FlightPool{}
-				camp.TrialStart = flightPool.TrialStart
-			}
-			if pool != nil || ckPool != nil || flightPool != nil {
-				camp.ObserverFactory = func(w int) sim.Observer {
-					var list []sim.Observer
-					var ck *conformance.Checker
-					if ckPool != nil {
-						ck = ckPool.Observer(w).(*conformance.Checker)
-						list = append(list, ck)
+				lo, hi := sim.ShardRange(camp.Trials, camp.Block, shardK, shardN)
+				simCol = fmt.Sprintf("shard %d/%d (trials %d..%d)", shardK, shardN, lo, hi-1)
+				shardFile = spath
+			} else if *mergeShards > 0 {
+				paths := make([]string, *mergeShards)
+				for k := range paths {
+					paths[k] = shardPath(*shardDir, sys.Name, name, k, *mergeShards)
+				}
+				res, err := camp.MergeShards(paths...)
+				if err != nil {
+					return fmt.Errorf("%s: merge shards: %w", name, err)
+				}
+				simCol = fmt.Sprintf("%.3f±%.3f", res.Efficiency.Mean, res.Efficiency.Std)
+				simRes = &res
+			} else {
+				var pool *obs.Pool
+				if sink != nil {
+					pool = &obs.Pool{}
+				}
+				var ckPool *conformance.Pool
+				if *check {
+					ckPool, err = conformance.NewPool(camp.Scenario)
+					if err != nil {
+						return fmt.Errorf("%s: %w", name, err)
 					}
-					if flightPool != nil {
-						rec := flightPool.Recorder(w)
-						if ck != nil {
-							// The checker runs earlier in the observer
-							// chain, so its verdict is current at the
-							// trial's terminal event: pin the streams of
-							// trials that added violations.
-							seen := 0
-							rec.SetJudge(func(sim.Event) (string, bool) {
-								if n := len(ck.Violations()); n > seen {
-									seen = n
-									return "conformance violation", true
-								}
-								return "", false
-							})
+				}
+				var flightPool *trace.FlightPool
+				if flightOn {
+					flightPool = &trace.FlightPool{}
+					camp.TrialStart = flightPool.TrialStart
+				}
+				if pool != nil || ckPool != nil || flightPool != nil {
+					camp.ObserverFactory = func(w int) sim.Observer {
+						var list []sim.Observer
+						var ck *conformance.Checker
+						if ckPool != nil {
+							ck = ckPool.Observer(w).(*conformance.Checker)
+							list = append(list, ck)
 						}
-						list = append(list, rec)
-					}
-					if pool != nil {
-						list = append(list, pool.Observer(w))
-					}
-					if len(list) == 1 {
-						return list[0]
-					}
-					return obs.Multi(list...)
-				}
-			}
-			var trialTracers *obs.TracerPool
-			if tracer != nil {
-				trialTracers = &obs.TracerPool{}
-				inner := camp.ObserverFactory
-				camp.ObserverFactory = func(w int) sim.Observer {
-					sp := obs.TrialSpans(trialTracers.Shard())
-					if inner == nil {
-						return sp
-					}
-					return obs.Multi(inner(w), sp)
-				}
-			}
-			var effStat, wallStat *obs.StreamStat
-			if stats != nil {
-				effStat = stats.Stat("trial_efficiency")
-				wallStat = stats.Stat("trial_walltime_minutes")
-			}
-			if prog != nil || stats != nil {
-				camp.TrialDone = func(r sim.TrialResult) {
-					if effStat != nil {
-						effStat.Observe(r.Efficiency)
-						wallStat.Observe(r.WallTime)
-					}
-					if prog != nil {
-						prog.Tick()
+						if flightPool != nil {
+							rec := flightPool.Recorder(w)
+							if ck != nil {
+								// The checker runs earlier in the observer
+								// chain, so its verdict is current at the
+								// trial's terminal event: pin the streams of
+								// trials that added violations.
+								seen := 0
+								rec.SetJudge(func(sim.Event) (string, bool) {
+									if n := len(ck.Violations()); n > seen {
+										seen = n
+										return "conformance violation", true
+									}
+									return "", false
+								})
+							}
+							list = append(list, rec)
+						}
+						if pool != nil {
+							list = append(list, pool.Observer(w))
+						}
+						if len(list) == 1 {
+							return list[0]
+						}
+						return obs.Multi(list...)
 					}
 				}
-			}
-			collectFlight := func() {
-				if flightPool == nil {
-					return
+				var trialTracers *obs.TracerPool
+				if tracer != nil {
+					trialTracers = &obs.TracerPool{}
+					inner := camp.ObserverFactory
+					camp.ObserverFactory = func(w int) sim.Observer {
+						sp := obs.TrialSpans(trialTracers.Shard())
+						if inner == nil {
+							return sp
+						}
+						return obs.Multi(inner(w), sp)
+					}
 				}
-				ss := flightPool.Streams()
-				for i := range ss {
-					ss[i].Label = name
+				var effStat, wallStat *obs.StreamStat
+				if stats != nil {
+					effStat = stats.Stat("trial_efficiency")
+					wallStat = stats.Stat("trial_walltime_minutes")
 				}
-				flightStreams = append(flightStreams, ss...)
-			}
-			campSpan := tracer.Start("campaign")
-			res, err := camp.Run()
-			campSpan.End()
-			if trialTracers != nil {
-				campSpan.Adopt(trialTracers.Merged())
-			}
-			if err != nil {
-				// The black box is most valuable on the crash path: the
-				// aborted trial's stream is pinned as "unterminated".
-				collectFlight()
-				dumpFlight(*flightPath, flightStreams)
-				return fmt.Errorf("%s: simulate: %w", name, err)
-			}
-			if ckPool != nil {
-				if err := ckPool.Err(); err != nil {
+				if prog != nil || stats != nil {
+					camp.TrialDone = func(r sim.TrialResult) {
+						if effStat != nil {
+							effStat.Observe(r.Efficiency)
+							wallStat.Observe(r.WallTime)
+						}
+						if prog != nil {
+							prog.Tick()
+						}
+					}
+				}
+				collectFlight := func() {
+					if flightPool == nil {
+						return
+					}
+					ss := flightPool.Streams()
+					for i := range ss {
+						ss[i].Label = name
+					}
+					flightStreams = append(flightStreams, ss...)
+				}
+				campSpan := tracer.Start("campaign")
+				res, err := camp.Run()
+				campSpan.End()
+				if trialTracers != nil {
+					campSpan.Adopt(trialTracers.Merged())
+				}
+				if err != nil {
+					// The black box is most valuable on the crash path: the
+					// aborted trial's stream is pinned as "unterminated".
 					collectFlight()
 					dumpFlight(*flightPath, flightStreams)
-					return fmt.Errorf("%s: conformance: %w", name, err)
+					return fmt.Errorf("%s: simulate: %w", name, err)
 				}
-				fmt.Fprintf(stdout, "conformance[%s]: %d trials, %d events, all invariants held\n",
-					name, ckPool.Trials(), ckPool.Events())
+				if ckPool != nil {
+					if err := ckPool.Err(); err != nil {
+						collectFlight()
+						dumpFlight(*flightPath, flightStreams)
+						return fmt.Errorf("%s: conformance: %w", name, err)
+					}
+					if !*jsonOut {
+						fmt.Fprintf(stdout, "conformance[%s]: %d trials, %d events, all invariants held\n",
+							name, ckPool.Trials(), ckPool.Events())
+					}
+				}
+				collectFlight()
+				if pool != nil {
+					m, err := pool.Merged()
+					if err != nil {
+						return err
+					}
+					if err := sink.Merge(m); err != nil {
+						return err
+					}
+				}
+				simCol = fmt.Sprintf("%.3f±%.3f", res.Efficiency.Mean, res.Efficiency.Std)
+				simRes = &res
 			}
-			collectFlight()
-			if pool != nil {
-				m, err := pool.Merged()
-				if err != nil {
-					return err
-				}
-				if err := sink.Merge(m); err != nil {
-					return err
-				}
-			}
-			simCol = fmt.Sprintf("%.3f±%.3f", res.Efficiency.Mean, res.Efficiency.Std)
 		}
+		results.Results = append(results.Results, techResult{
+			Technique: name,
+			Plan:      plan.String(),
+			Predicted: pred.Efficiency,
+			Sim:       simRes,
+			ShardFile: shardFile,
+		})
 		tab.AddRow(name, levelsLabel(info), plan.String(), fmt.Sprintf("%.3f", pred.Efficiency), simCol)
 		cellSpan.End()
 		if live != nil {
@@ -394,8 +499,25 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
-	if err := tab.Render(stdout); err != nil {
+	if *jsonOut {
+		if err := writeResults(stdout, results); err != nil {
+			return err
+		}
+	} else if err := tab.Render(stdout); err != nil {
 		return err
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		if err := writeResults(f, results); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	if *flightPath != "" {
 		f, err := os.Create(*flightPath)
@@ -415,10 +537,79 @@ func run(args []string, stdout io.Writer) error {
 				held++
 			}
 		}
-		fmt.Fprintf(stdout, "flight recorder: %d streams (%d held) written to %s\n",
-			len(flightStreams), held, *flightPath)
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "flight recorder: %d streams (%d held) written to %s\n",
+				len(flightStreams), held, *flightPath)
+		}
 	}
 	return finish(stdout, *traceSummary, *metricsPath, *memprofile, sink, tracer, stats)
+}
+
+// techResult is one row of the machine-readable output: the chosen
+// plan, the technique's own prediction, and (when simulated) the full
+// campaign result. encoding/json renders float64s with the shortest
+// round-trip representation, so two runs with bitwise-identical
+// results marshal to byte-identical JSON — check.sh's resume gate
+// compares these outputs with cmp.
+type techResult struct {
+	Technique string              `json:"technique"`
+	Plan      string              `json:"plan"`
+	Predicted float64             `json:"predicted_efficiency"`
+	Sim       *sim.CampaignResult `json:"sim,omitempty"`
+	ShardFile string              `json:"shard_file,omitempty"`
+}
+
+// runResults is the top-level machine-readable document written by
+// -json and -out.
+type runResults struct {
+	System  string       `json:"system"`
+	Trials  int          `json:"trials"`
+	Seed    uint64       `json:"seed"`
+	Results []techResult `json:"results"`
+}
+
+func writeResults(w io.Writer, r runResults) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// parseShard parses a "k/N" shard spec; an empty spec means no
+// sharding (0, 0).
+func parseShard(spec string) (k, n int, err error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	i := strings.IndexByte(spec, '/')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("-shard %q: want k/N, e.g. 1/4", spec)
+	}
+	k, err = strconv.Atoi(spec[:i])
+	if err == nil {
+		n, err = strconv.Atoi(spec[i+1:])
+	}
+	if err != nil || n <= 0 || k < 0 || k >= n {
+		return 0, 0, fmt.Errorf("-shard %q: want k/N with 0 <= k < N", spec)
+	}
+	return k, n, nil
+}
+
+// cellFile names per-technique artifacts (checkpoints, shard files)
+// after the system and technique, with filesystem-hostile runes mapped
+// to '_'.
+func cellFile(sysName, tech string) string {
+	safe := func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}
+	return strings.Map(safe, sysName) + "-" + strings.Map(safe, tech)
+}
+
+func shardPath(dir, sysName, tech string, k, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.shard%dof%d.json", cellFile(sysName, tech), k, n))
 }
 
 // finish writes the run's shared epilogue artifacts: the span summary,

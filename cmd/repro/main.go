@@ -13,18 +13,24 @@
 //
 //	-trials N    override the per-scenario trial count (default: paper's)
 //	-seed N      campaign base seed (default 1)
-//	-out DIR     write <experiment>.txt/.csv/.svg under DIR ("" = stdout only)
+//	-outdir DIR  write <experiment>.txt/.csv/.svg under DIR ("" = stdout only)
+//	             (-out DIR is a deprecated alias; -out means a file path
+//	             in the other commands)
+//	-json        machine-readable JSON results on stdout instead of tables
 //	-quiet       suppress per-scenario progress lines
 //	-wall F      per-trial wall-time cap as a multiple of T_B (default 150)
 //	-fast        low-resolution optimizer grids for smoke runs
 //	-crn         common random numbers across each row's techniques
 //	-ci-target W with -crn, sequential stopping at paired CI half-width W
+//	-stream      constant-memory simulation aggregation (quantile sketches)
+//	-checkpoint DIR / -resume   periodic campaign checkpoints + resume
 //	-metrics F   write an aggregate telemetry snapshot (JSON) to file F
 //	-progress    report trials/sec and ETA on stderr while running
 //	-cpuprofile F / -memprofile F   write runtime/pprof profiles
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -52,7 +58,9 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
 	trials := fs.Int("trials", 0, "per-scenario trial count (0 = paper default)")
 	seed := fs.Uint64("seed", 1, "campaign base seed")
-	outDir := fs.String("out", "", "directory for .txt/.csv/.svg artifacts")
+	outDirFlag := fs.String("outdir", "", "directory for .txt/.csv/.svg artifacts")
+	outDirOld := fs.String("out", "", "deprecated alias for -outdir (kept one release; -out names a file path everywhere else)")
+	jsonOut := fs.Bool("json", false, "write each target's result as machine-readable JSON to stdout instead of text tables")
 	quiet := fs.Bool("quiet", false, "suppress progress lines")
 	wall := fs.Float64("wall", 0, "trial wall cap as multiple of T_B (0 = default 150)")
 	fast := fs.Bool("fast", false, "low-resolution optimizer grids (smoke runs)")
@@ -65,6 +73,10 @@ func run(args []string, stdout io.Writer) error {
 	traceSummary := fs.Bool("trace-summary", false, "print the hierarchical span time breakdown after the run")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
+	streamSim := fs.Bool("stream", false, "aggregate simulations in constant memory (sketch-backed summaries instead of per-trial slices)")
+	ckptDir := fs.String("checkpoint", "", "checkpoint each cell's campaign into this directory (resume with -resume); ignored under -crn")
+	ckptInterval := fs.Int("checkpoint-interval", 0, "trials between checkpoint writes (0 = trials/8, at least 1)")
+	resume := fs.Bool("resume", false, "with -checkpoint, resume each cell's campaign from its checkpoint when present")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,13 +86,32 @@ func run(args []string, stdout io.Writer) error {
 	if *ciTarget > 0 && !*crn {
 		return fmt.Errorf("-ci-target needs -crn (sequential stopping is defined on paired CIs)")
 	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume needs -checkpoint")
+	}
+	outDir := *outDirFlag
+	if *outDirOld != "" {
+		fmt.Fprintln(os.Stderr, "repro: -out is deprecated, use -outdir (repro and mlckpt now follow simtrace's convention: -out is a file path, -outdir a directory)")
+		if outDir == "" {
+			outDir = *outDirOld
+		}
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return err
+		}
+	}
 	opt := experiments.Options{
-		Trials:        *trials,
-		Seed:          *seed,
-		MaxWallFactor: *wall,
-		Fast:          *fast,
-		CRN:           *crn,
-		CITarget:      *ciTarget,
+		Trials:             *trials,
+		Seed:               *seed,
+		MaxWallFactor:      *wall,
+		Fast:               *fast,
+		CRN:                *crn,
+		CITarget:           *ciTarget,
+		Stream:             *streamSim,
+		CheckpointDir:      *ckptDir,
+		CheckpointInterval: *ckptInterval,
+		Resume:             *resume,
 	}
 	if !*quiet {
 		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
@@ -139,7 +170,7 @@ func run(args []string, stdout io.Writer) error {
 	var sharedFig4 *experiments.Fig4Result
 	for _, target := range targets {
 		start := time.Now()
-		if err := runOne(target, opt, *outDir, stdout, &sharedFig4); err != nil {
+		if err := runOne(target, opt, outDir, *jsonOut, stdout, &sharedFig4); err != nil {
 			return fmt.Errorf("%s: %w", target, err)
 		}
 		if !*quiet {
@@ -252,10 +283,22 @@ func emit(outDir, name string, render func(io.Writer) error) error {
 	return f.Close()
 }
 
-func runOne(target string, opt experiments.Options, outDir string, stdout io.Writer, sharedFig4 **experiments.Fig4Result) error {
+// show writes a target's result to stdout: the JSON document when
+// jsonOut is set, the text rendering otherwise. Artifact emission via
+// -outdir is unaffected by the choice.
+func show(stdout io.Writer, jsonOut bool, v any, render func(io.Writer) error) error {
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+	return render(stdout)
+}
+
+func runOne(target string, opt experiments.Options, outDir string, jsonOut bool, stdout io.Writer, sharedFig4 **experiments.Fig4Result) error {
 	switch target {
 	case "table1":
-		if err := report.TableI(stdout); err != nil {
+		if err := show(stdout, jsonOut, system.TableI(), report.TableI); err != nil {
 			return err
 		}
 		if err := emit(outDir, "table1.txt", report.TableI); err != nil {
@@ -264,7 +307,11 @@ func runOne(target string, opt experiments.Options, outDir string, stdout io.Wri
 		return emit(outDir, "table1.svg", report.TableISVG)
 
 	case "fig1":
-		if _, err := fmt.Fprintln(stdout, "Figure 1 is the pattern illustration; written as fig1.svg (use -out)."); err != nil {
+		note := "Figure 1 is the pattern illustration; written as fig1.svg (use -outdir)."
+		if err := show(stdout, jsonOut, map[string]string{"note": note}, func(w io.Writer) error {
+			_, err := fmt.Fprintln(w, note)
+			return err
+		}); err != nil {
 			return err
 		}
 		return emit(outDir, "fig1.svg", report.Fig1SVG)
@@ -274,7 +321,7 @@ func runOne(target string, opt experiments.Options, outDir string, stdout io.Wri
 		if err != nil {
 			return err
 		}
-		if err := report.Fig2(stdout, r); err != nil {
+		if err := show(stdout, jsonOut, r, func(w io.Writer) error { return report.Fig2(w, r) }); err != nil {
 			return err
 		}
 		if err := emit(outDir, "fig2.txt", func(w io.Writer) error { return report.Fig2(w, r) }); err != nil {
@@ -292,7 +339,7 @@ func runOne(target string, opt experiments.Options, outDir string, stdout io.Wri
 		if err != nil {
 			return err
 		}
-		if err := report.Fig3(stdout, r); err != nil {
+		if err := show(stdout, jsonOut, r, func(w io.Writer) error { return report.Fig3(w, r) }); err != nil {
 			return err
 		}
 		if err := emit(outDir, "fig3.txt", func(w io.Writer) error { return report.Fig3(w, r) }); err != nil {
@@ -307,7 +354,7 @@ func runOne(target string, opt experiments.Options, outDir string, stdout io.Wri
 		}
 		*sharedFig4 = r
 		title := "Figure 4 — 1440-minute application on the exascale grid"
-		if err := report.Fig4(stdout, r, title); err != nil {
+		if err := show(stdout, jsonOut, r, func(w io.Writer) error { return report.Fig4(w, r, title) }); err != nil {
 			return err
 		}
 		if err := emit(outDir, "fig4.txt", func(w io.Writer) error { return report.Fig4(w, r, title) }); err != nil {
@@ -325,7 +372,7 @@ func runOne(target string, opt experiments.Options, outDir string, stdout io.Wri
 		if err != nil {
 			return err
 		}
-		if err := report.Fig5(stdout, r); err != nil {
+		if err := show(stdout, jsonOut, r, func(w io.Writer) error { return report.Fig5(w, r) }); err != nil {
 			return err
 		}
 		if err := emit(outDir, "fig5.txt", func(w io.Writer) error { return report.Fig5(w, r) }); err != nil {
@@ -344,7 +391,7 @@ func runOne(target string, opt experiments.Options, outDir string, stdout io.Wri
 		if err != nil {
 			return err
 		}
-		if err := report.Fig6(stdout, r); err != nil {
+		if err := show(stdout, jsonOut, r, func(w io.Writer) error { return report.Fig6(w, r) }); err != nil {
 			return err
 		}
 		if err := emit(outDir, "fig6.txt", func(w io.Writer) error { return report.Fig6(w, r) }); err != nil {
@@ -357,7 +404,7 @@ func runOne(target string, opt experiments.Options, outDir string, stdout io.Wri
 		if err != nil {
 			return err
 		}
-		if err := report.Sensitivity(stdout, r); err != nil {
+		if err := show(stdout, jsonOut, r, func(w io.Writer) error { return report.Sensitivity(w, r) }); err != nil {
 			return err
 		}
 		if err := emit(outDir, "sensitivity.txt", func(w io.Writer) error { return report.Sensitivity(w, r) }); err != nil {
@@ -370,7 +417,7 @@ func runOne(target string, opt experiments.Options, outDir string, stdout io.Wri
 		if err != nil {
 			return err
 		}
-		if err := report.Ablation(stdout, r); err != nil {
+		if err := show(stdout, jsonOut, r, func(w io.Writer) error { return report.Ablation(w, r) }); err != nil {
 			return err
 		}
 		return emit(outDir, "ablation-policy.txt", func(w io.Writer) error { return report.Ablation(w, r) })
@@ -380,7 +427,7 @@ func runOne(target string, opt experiments.Options, outDir string, stdout io.Wri
 		if err != nil {
 			return err
 		}
-		if err := report.Ablation(stdout, r); err != nil {
+		if err := show(stdout, jsonOut, r, func(w io.Writer) error { return report.Ablation(w, r) }); err != nil {
 			return err
 		}
 		return emit(outDir, "ablation-async.txt", func(w io.Writer) error { return report.Ablation(w, r) })
@@ -390,7 +437,7 @@ func runOne(target string, opt experiments.Options, outDir string, stdout io.Wri
 		if err != nil {
 			return err
 		}
-		if err := report.Ablation(stdout, r); err != nil {
+		if err := show(stdout, jsonOut, r, func(w io.Writer) error { return report.Ablation(w, r) }); err != nil {
 			return err
 		}
 		return emit(outDir, "ablation-weibull.txt", func(w io.Writer) error { return report.Ablation(w, r) })

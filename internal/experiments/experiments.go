@@ -9,7 +9,9 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -90,6 +92,21 @@ type Options struct {
 	// CIBatch is the per-arm batch size between stopping checks
 	// (0 = the sim default of 64).
 	CIBatch int
+	// Stream runs every campaign through sim.NewStreamSink: constant
+	// memory at any trial count, sketch-backed summaries, no per-trial
+	// Efficiencies. Ignored under CRN (paired comparisons need the
+	// exact per-trial slices).
+	Stream bool
+	// CheckpointDir, when non-empty, checkpoints every campaign into
+	// one file per (experiment, system, technique) cell under this
+	// directory. Ignored under CRN.
+	CheckpointDir string
+	// CheckpointInterval is the per-campaign checkpoint interval in
+	// trials (0 = every 1/8 of the campaign).
+	CheckpointInterval int
+	// Resume, with CheckpointDir, resumes each cell's campaign from its
+	// checkpoint file when present.
+	Resume bool
 }
 
 // fastCounts is the reduced N_i candidate set used in Fast mode.
@@ -163,12 +180,59 @@ func newTechnique(name string, fast bool) (model.Technique, error) {
 	return tech, nil
 }
 
+// applySink wires the Options' streaming/checkpoint choices into one
+// campaign. label names the cell (experiment/system/technique) and
+// becomes the checkpoint filename.
+func (o Options) applySink(camp *sim.Campaign, label string) {
+	if o.Stream && camp.Sink == nil {
+		camp.Sink = sim.NewStreamSink()
+	}
+	if o.CheckpointDir == "" || camp.Checkpoint != nil {
+		return
+	}
+	interval := o.CheckpointInterval
+	if interval == 0 {
+		interval = camp.Trials / 8
+		if interval < 1 {
+			interval = 1
+		}
+	}
+	// The campaign seed words disambiguate same-named cells across
+	// experiments (fig2 vs fig3 share system/technique names but never
+	// seeds), so a stale file can at worst fail header validation, not
+	// silently resume the wrong cell.
+	hi, lo := camp.Seed.Words()
+	name := fmt.Sprintf("%s-%08x.ckpt", sanitizeCell(label), (hi^lo)&0xffffffff)
+	camp.Checkpoint = &sim.CheckpointConfig{
+		Path:     filepath.Join(o.CheckpointDir, name),
+		Interval: interval,
+		Resume:   o.Resume,
+	}
+}
+
+// sanitizeCell maps a cell label to a safe filename.
+func sanitizeCell(label string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, label)
+}
+
 // runCampaign executes a campaign with the Options' telemetry hooks
 // attached: per-trial progress ticks, and — when metrics collection is
 // on — one obs.SimMetrics shard per worker, merged after the run and
 // folded into the global sink. Returns the merged per-campaign metrics
 // (nil when collection is off).
 func (o Options) runCampaign(camp sim.Campaign) (sim.CampaignResult, *obs.SimMetrics, error) {
+	// Catch-all for callers that skip evaluate's labelled applySink
+	// (sensitivity, ablations): the seed-word hash in the filename keeps
+	// cells distinct even under the bare system-name label.
+	o.applySink(&camp, camp.Scenario.System.Name)
 	campSpan := o.Spans.Start("campaign")
 	defer campSpan.End()
 	setupSpan := o.Spans.Start("setup")
@@ -291,6 +355,7 @@ func evaluate(sys *system.System, techName string, trials int, seed rng.Seed, op
 		Seed:     seed.Scenario(sys.Name + "/" + techName),
 		Workers:  opt.Workers,
 	}
+	opt.applySink(&camp, sys.Name+"-"+techName)
 	res, metrics, err := opt.runCampaign(camp)
 	if err != nil {
 		return Cell{}, fmt.Errorf("%s on %s: simulate: %w", techName, sys.Name, err)

@@ -13,9 +13,10 @@ import (
 // handler snapshots it mid-run. It combines a Welford accumulator (mean,
 // std, and the Student-t confidence interval of the mean — the same
 // machinery the paper's Welch significance tests build on) with a
-// log-bucket Histogram for quantiles, both behind one mutex. The lock is
-// taken once per observation (per trial, not per event), so contention
-// is negligible next to trial cost.
+// log-bucket stats.Sketch for quantiles — the same sketch the streaming
+// campaign sink persists in checkpoints — both behind one mutex. The
+// lock is taken once per observation (per trial, not per event), so
+// contention is negligible next to trial cost.
 //
 // Unlike the Registry instruments, StreamStat is safe for concurrent
 // use — it exists precisely so a run can be watched from outside while
@@ -23,20 +24,20 @@ import (
 type StreamStat struct {
 	mu sync.Mutex
 	s  stats.Sample
-	h  *Histogram
+	sk *stats.Sketch
 }
 
-// NewStreamStat returns an empty estimator with the default histogram
+// NewStreamStat returns an empty estimator with the default sketch
 // bucket scheme.
 func NewStreamStat() *StreamStat {
-	return &StreamStat{h: NewHistogram()}
+	return &StreamStat{sk: stats.NewSketch()}
 }
 
 // Observe records one observation. Safe for concurrent use.
 func (s *StreamStat) Observe(v float64) {
 	s.mu.Lock()
 	s.s.Add(v)
-	s.h.Observe(v)
+	s.sk.Observe(v)
 	s.mu.Unlock()
 }
 
@@ -81,8 +82,8 @@ func (s *StreamStat) Snapshot(name string) StreamStatSnapshot {
 	if ci, err := s.s.CI(0.95); err == nil && !math.IsNaN(ci) {
 		out.CI95 = ci
 	}
-	if s.h.Count() > 0 {
-		out.P50, out.P90, out.P99 = s.h.Quantile(0.5), s.h.Quantile(0.9), s.h.Quantile(0.99)
+	if s.sk.N() > 0 {
+		out.P50, out.P90, out.P99 = s.sk.Quantile(0.5), s.sk.Quantile(0.9), s.sk.Quantile(0.99)
 	}
 	return out
 }

@@ -302,8 +302,9 @@ func CellsCSV(w io.Writer, scenarios []string, techniques []string, cells [][]ex
 	}
 	for i, sc := range scenarios {
 		for _, c := range cells[i] {
-			// Cells built from summaries alone (no per-trial data) get
-			// blank quantile columns.
+			// Exact-sink cells carry per-trial efficiencies; streaming
+			// cells fall back to sketch-estimated quantiles. Cells built
+			// from summaries alone get blank quantile columns.
 			q := []string{"", "", ""}
 			if len(c.Sim.Efficiencies) > 0 {
 				qs, err := stats.Quantiles(c.Sim.Efficiencies, 0.05, 0.5, 0.95)
@@ -311,6 +312,8 @@ func CellsCSV(w io.Writer, scenarios []string, techniques []string, cells [][]ex
 					return fmt.Errorf("report: %s/%s efficiency quantiles: %w", sc, c.Technique, err)
 				}
 				q = []string{f3(qs[0]), f3(qs[1]), f3(qs[2])}
+			} else if sk := c.Sim.EfficiencySketch; sk != nil && sk.N() > 0 {
+				q = []string{f3(sk.Quantile(0.05)), f3(sk.Quantile(0.5)), f3(sk.Quantile(0.95))}
 			}
 			rec := []string{
 				sc, c.Technique,

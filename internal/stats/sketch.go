@@ -1,0 +1,344 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Default sketch bucket scheme: log-scaled buckets spanning (1e-9, 1e12]
+// with 8 buckets per decade, plus an underflow bucket for values <= lo
+// (including zero and negatives) and an overflow bucket for values > hi.
+// Simulated efficiencies live in (0, 1] and wall times in minutes, so
+// the range covers both with ~2.9 % relative bucket width.
+const (
+	sketchDefaultLo        = 1e-9
+	sketchDefaultHi        = 1e12
+	sketchDefaultPerDecade = 8
+)
+
+// Sketch is a mergeable streaming summary: exact Welford moments and
+// min/max plus a fixed log-bucket histogram for quantile estimates. It
+// is the constant-memory stand-in for a full sample slice — Summary()
+// is exact in N/Mean/Std/Min/Max, Quantile() is bucket-interpolated
+// (relative error bounded by the bucket width, ~±1.5 % with the default
+// scheme).
+//
+// Determinism: Observe folds with Welford's update and Merge with the
+// Chan et al. pairwise update, so a reduction that always folds the
+// same observation sequences in the same order — e.g. the campaign
+// runner's fixed trial-block partition merged in ascending block
+// order — produces bitwise-identical state regardless of how the work
+// was scheduled. Not safe for concurrent use.
+type Sketch struct {
+	lo        float64
+	hi        float64
+	perDecade int
+	nb        int // log buckets, excluding under/overflow
+
+	counts   []uint64 // len nb+2 once allocated: [under, b1..bnb, over]
+	rejected uint64
+	n        int64
+	mean     float64
+	m2       float64
+	min      float64
+	max      float64
+}
+
+// NewSketch returns a sketch with the default bucket scheme.
+func NewSketch() *Sketch {
+	s, err := NewSketchScheme(sketchDefaultLo, sketchDefaultHi, sketchDefaultPerDecade)
+	if err != nil {
+		panic(err) // defaults are statically valid
+	}
+	return s
+}
+
+// NewSketchScheme returns a sketch with log-scaled buckets of perDecade
+// buckets per decade spanning (lo, hi].
+func NewSketchScheme(lo, hi float64, perDecade int) (*Sketch, error) {
+	if !(lo > 0) || !(hi > lo) || perDecade < 1 {
+		return nil, fmt.Errorf("stats: invalid sketch scheme lo=%v hi=%v perDecade=%d", lo, hi, perDecade)
+	}
+	nb := int(math.Ceil(math.Log10(hi/lo)*float64(perDecade) - 1e-9))
+	return &Sketch{lo: lo, hi: hi, perDecade: perDecade, nb: nb}, nil
+}
+
+// bucketIndex maps a finite value into [0, nb+1].
+func (s *Sketch) bucketIndex(v float64) int {
+	if v <= s.lo {
+		return 0
+	}
+	if v > s.hi {
+		return s.nb + 1
+	}
+	idx := 1 + int(math.Floor(math.Log10(v/s.lo)*float64(s.perDecade)))
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > s.nb {
+		idx = s.nb
+	}
+	return idx
+}
+
+// upperBound returns the inclusive upper bound of bucket i in [0, nb+1].
+func (s *Sketch) upperBound(i int) float64 {
+	switch {
+	case i <= 0:
+		return s.lo
+	case i > s.nb:
+		return math.Inf(1)
+	default:
+		return s.lo * math.Pow(10, float64(i)/float64(s.perDecade))
+	}
+}
+
+// Observe records one value. NaN and ±Inf are rejected (counted in
+// Rejected, excluded from every statistic).
+func (s *Sketch) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		s.rejected++
+		return
+	}
+	if s.counts == nil {
+		s.counts = make([]uint64, s.nb+2)
+	}
+	s.counts[s.bucketIndex(v)]++
+	if s.n == 0 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	s.n++
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+}
+
+// N returns the number of accepted values.
+func (s *Sketch) N() int64 { return s.n }
+
+// Rejected returns the number of rejected (non-finite) values.
+func (s *Sketch) Rejected() uint64 { return s.rejected }
+
+// Mean returns the mean of the accepted values (0 when empty).
+func (s *Sketch) Mean() float64 { return s.mean }
+
+// Min returns the smallest accepted value (0 when empty).
+func (s *Sketch) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest accepted value (0 when empty).
+func (s *Sketch) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Std returns the unbiased sample standard deviation (0 for fewer than
+// two values).
+func (s *Sketch) Std() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Summary snapshots the sketch's exact moments as a Summary — the
+// sketch-backed replacement for Summarize over a full slice.
+func (s *Sketch) Summary() Summary {
+	return Summary{N: int(s.n), Mean: s.mean, Std: s.Std(), Min: s.Min(), Max: s.Max()}
+}
+
+// Merge folds o into s (o is unchanged; merging a sketch into itself is
+// a no-op). The two sketches must share the same bucket scheme.
+func (s *Sketch) Merge(o *Sketch) error {
+	if o == nil || o == s {
+		return nil
+	}
+	if s.lo != o.lo || s.hi != o.hi || s.perDecade != o.perDecade {
+		return fmt.Errorf("stats: sketch scheme mismatch: (%g,%g,%d) vs (%g,%g,%d)",
+			s.lo, s.hi, s.perDecade, o.lo, o.hi, o.perDecade)
+	}
+	s.rejected += o.rejected
+	if o.n == 0 {
+		return nil
+	}
+	if s.counts == nil {
+		s.counts = make([]uint64, s.nb+2)
+	}
+	for i, c := range o.counts {
+		s.counts[i] += c
+	}
+	if s.n == 0 {
+		s.min, s.max, s.mean, s.m2, s.n = o.min, o.max, o.mean, o.m2, o.n
+		return nil
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	n := float64(s.n + o.n)
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/n
+	s.mean += d * float64(o.n) / n
+	s.n += o.n
+	return nil
+}
+
+// Reset returns the sketch to its empty state, keeping the scheme and
+// the bucket allocation (shard-pool reuse).
+func (s *Sketch) Reset() {
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.rejected, s.n, s.mean, s.m2, s.min, s.max = 0, 0, 0, 0, 0, 0
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by geometric
+// interpolation within the containing bucket, clamped to the exact
+// [Min, Max] range; estimates are non-decreasing in q. Returns NaN when
+// the sketch is empty or q is NaN.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.n == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	target := q * float64(s.n)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i, c := range s.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			v := s.interp(i, (target-cum)/float64(c))
+			if v < s.min {
+				v = s.min
+			}
+			if v > s.max {
+				v = s.max
+			}
+			return v
+		}
+		cum = next
+	}
+	return s.max
+}
+
+// interp interpolates a value at fraction frac within bucket i.
+func (s *Sketch) interp(i int, frac float64) float64 {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	switch {
+	case i == 0:
+		// Underflow bucket has no lower bound; report its upper bound
+		// (the clamp pulls it to min when appropriate).
+		return s.lo
+	case i > s.nb:
+		// Overflow bucket is unbounded above; report the exact max.
+		return s.max
+	default:
+		lower := s.upperBound(i - 1)
+		upper := s.upperBound(i)
+		return lower * math.Pow(upper/lower, frac)
+	}
+}
+
+// sketchBucket is one non-empty bucket in the serialized form.
+type sketchBucket struct {
+	I int    `json:"i"`
+	C uint64 `json:"c"`
+}
+
+// sketchJSON is the serialized sketch state. Moments are carried as
+// IEEE-754 bit patterns so a save/load round trip is bitwise exact —
+// the property campaign checkpoint resume relies on (decimal float
+// formatting would round).
+type sketchJSON struct {
+	Lo        float64        `json:"lo"`
+	Hi        float64        `json:"hi"`
+	PerDecade int            `json:"per_decade"`
+	N         int64          `json:"n"`
+	Rejected  uint64         `json:"rejected,omitempty"`
+	MeanBits  uint64         `json:"mean_bits"`
+	M2Bits    uint64         `json:"m2_bits"`
+	MinBits   uint64         `json:"min_bits"`
+	MaxBits   uint64         `json:"max_bits"`
+	Buckets   []sketchBucket `json:"buckets,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler (sparse buckets, bit-exact
+// moments).
+func (s *Sketch) MarshalJSON() ([]byte, error) {
+	out := sketchJSON{
+		Lo: s.lo, Hi: s.hi, PerDecade: s.perDecade,
+		N: s.n, Rejected: s.rejected,
+		MeanBits: math.Float64bits(s.mean), M2Bits: math.Float64bits(s.m2),
+		MinBits: math.Float64bits(s.min), MaxBits: math.Float64bits(s.max),
+	}
+	for i, c := range s.counts {
+		if c != 0 {
+			out.Buckets = append(out.Buckets, sketchBucket{I: i, C: c})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Sketch) UnmarshalJSON(data []byte) error {
+	var in sketchJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	ns, err := NewSketchScheme(in.Lo, in.Hi, in.PerDecade)
+	if err != nil {
+		return err
+	}
+	*s = *ns
+	s.n, s.rejected = in.N, in.Rejected
+	s.mean, s.m2 = math.Float64frombits(in.MeanBits), math.Float64frombits(in.M2Bits)
+	s.min, s.max = math.Float64frombits(in.MinBits), math.Float64frombits(in.MaxBits)
+	if len(in.Buckets) > 0 {
+		s.counts = make([]uint64, s.nb+2)
+		var total uint64
+		for _, b := range in.Buckets {
+			if b.I < 0 || b.I >= len(s.counts) {
+				return fmt.Errorf("stats: sketch bucket index %d outside [0,%d]", b.I, len(s.counts)-1)
+			}
+			s.counts[b.I] = b.C
+			total += b.C
+		}
+		if int64(total) != s.n {
+			return fmt.Errorf("stats: sketch bucket counts sum to %d, n is %d", total, s.n)
+		}
+	} else if s.n != 0 {
+		return fmt.Errorf("stats: sketch has n=%d but no buckets", s.n)
+	}
+	return nil
+}
