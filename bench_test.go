@@ -15,6 +15,7 @@ import (
 	"repro/internal/model/dauwe"
 	"repro/internal/model/moody"
 	"repro/internal/obs"
+	"repro/internal/obs/sidecar"
 	"repro/internal/pattern"
 	"repro/internal/report"
 	"repro/internal/rng"
@@ -421,6 +422,44 @@ func BenchmarkCampaignD7Instrumented(b *testing.B) {
 		snap := tracers.Merged().Snapshot()
 		if len(snap) != 1 || snap[0].Count != 200 {
 			b.Fatalf("span shards lost trials: %+v", snap)
+		}
+	}
+}
+
+// BenchmarkCampaignD7Sidecar is BenchmarkCampaignD7 with a progress
+// sidecar writer attached as the Progress hook — the fleet-observability
+// configuration every shard process runs under. The writer throttles to
+// its refresh interval, so a 200-trial campaign pays for at most the
+// first and final sidecar writes; the figure must stay within 2% of the
+// bare BenchmarkCampaignD7 baseline (see BENCH_obs.json).
+func BenchmarkCampaignD7Sidecar(b *testing.B) {
+	sys, err := system.ByName("D7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scn := sim.Scenario{
+		System: sys,
+		Plan:   pattern.Plan{Tau0: 1.3, Counts: []int{3}, Levels: []int{1, 2}},
+	}
+	seed := rng.Campaign(1, "bench-campaign").Scenario("D7")
+	path := b.TempDir() + "/bench" + sidecar.Suffix
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw := sidecar.NewWriter(path, sidecar.Meta{
+			RunID: "bench", Label: "D7/bench",
+		})
+		camp := sim.Campaign{
+			Scenario: scn,
+			Trials:   200,
+			Seed:     seed,
+			Progress: sw.Update,
+		}
+		if _, err := camp.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if err := sw.Err(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

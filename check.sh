@@ -8,7 +8,11 @@
 #   ./check.sh fuzz     additionally run each native fuzz target for 30s
 #   ./check.sh smoke    only the live-telemetry smoke: serve mlckpt
 #                       -listen, scrape /metrics + /snapshot mid-run,
-#                       assert exposition-format and JSON validity
+#                       assert exposition-format and JSON validity;
+#                       then the fleet smoke: a 2-shard campaign with
+#                       progress sidecars, /shards + /healthz scraped
+#                       mid-flight, one-shot mlckpt -watch -json, the
+#                       versioned sidecar schema, and -log-json events
 #   ./check.sh stream   only the streaming-sink gates: the constant-
 #                       memory max-RSS guard (1e4 vs 1e6 trials, see
 #                       BENCH_stream.json) and the kill -9 resume gate
@@ -96,6 +100,76 @@ if [ "${1:-}" = "smoke" ]; then
          END { exit bad }' "$tmp/metrics.txt"
     python3 -m json.tool "$tmp/snapshot.json" >/dev/null
     echo "metrics: $(grep -c . "$tmp/metrics.txt") lines, Prometheus-parseable; snapshot: valid JSON"
+
+    # Fleet smoke: run shard 0/2 behind -listen, scrape /healthz and
+    # /shards while its trials are still merging, let it finish, run
+    # shard 1/2, then aggregate the sidecars with one-shot -watch -json
+    # and validate the sidecar files against the versioned schema.
+    echo "== fleet smoke (2-shard campaign, sidecars, /shards, -watch -json)"
+    sd="$tmp/shardfleet"
+    mkdir -p "$sd"
+    fport=9138
+    "$tmp/mlckpt" -system D7 -techniques daly -trials 60000 -shard 0/2 \
+        -shard-dir "$sd" -listen "127.0.0.1:$fport" -log-json \
+        >"$tmp/shard0.log" 2>"$tmp/shard0.err" &
+    spid=$!
+    fok=""
+    for _ in $(seq 1 100); do
+        if [ "$(curl -fsS "http://127.0.0.1:$fport/healthz" 2>/dev/null)" = "ok" ] &&
+            curl -fsS "http://127.0.0.1:$fport/shards" -o "$tmp/shards.json" 2>/dev/null &&
+            python3 -c 'import json,sys; f=json.load(open(sys.argv[1])); sys.exit(0 if f.get("shards") else 1)' \
+                "$tmp/shards.json" 2>/dev/null; then
+            fok=1
+            break
+        fi
+        sleep 0.2
+    done
+    if [ -z "$fok" ]; then
+        echo "shard run never served a populated /shards" >&2
+        cat "$tmp/shard0.err" >&2
+        kill "$spid" 2>/dev/null || true
+        exit 1
+    fi
+    wait "$spid"
+    "$tmp/mlckpt" -system D7 -techniques daly -trials 60000 -shard 1/2 \
+        -shard-dir "$sd" -log-json >"$tmp/shard1.log" 2>"$tmp/shard1.err"
+    "$tmp/mlckpt" -watch "$sd" -json >"$tmp/fleet.json"
+    python3 - "$tmp/fleet.json" "$sd" <<'PYEOF'
+import glob, json, sys
+
+fleet = json.load(open(sys.argv[1]))
+assert fleet["state"] == "complete", fleet["state"]
+assert len(fleet["shards"]) == 2, fleet["shards"]
+assert fleet["trials_merged"] == fleet["trials_total"] == 60000, fleet
+
+sidecars = sorted(glob.glob(sys.argv[2] + "/*.progress"))
+assert len(sidecars) == 2, sidecars
+for path in sidecars:
+    f = json.load(open(path))
+    assert f["format"] == "mlckpt-progress", f["format"]
+    assert f["version"] == 1, f["version"]
+    assert f["run_id"], "missing run_id"
+    assert f["of"] == 2 and 0 <= f["shard"] < 2, (f["shard"], f["of"])
+    assert f["state"] == "complete", f["state"]
+    assert 0 <= f["trials_first"] <= f["trials_merged"] == f["trials_limit"] <= f["trials_total"], f
+    assert f["updated_unix_ms"] >= f["started_unix_ms"] > 0, f
+    assert f["refresh_ms"] > 0, f
+print("fleet: complete, 2 shards, 60000 trials; sidecars: schema-valid")
+PYEOF
+    # -log-json: shard 1 ran without -listen, so its stderr is purely
+    # the structured event log — every line JSON, run-ID correlated,
+    # bracketed by campaign_start and campaign_end.
+    python3 - "$tmp/shard1.err" <<'PYEOF'
+import json, sys
+
+events = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+assert events, "no events logged"
+msgs = [e["msg"] for e in events]
+assert msgs[0] == "campaign_start" and msgs[-1] == "campaign_end", msgs
+assert len({e["run_id"] for e in events}) == 1 and events[0]["run_id"], msgs
+assert all("ts_ms" in e for e in events), events[0]
+print("event log: %d JSON events, one run ID, start/end bracketed" % len(events))
+PYEOF
     echo "OK"
     exit 0
 fi

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +27,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/conformance"
 	"repro/internal/experiments"
@@ -33,6 +35,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
+	"repro/internal/obs/sidecar"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -88,8 +91,14 @@ func run(args []string, stdout io.Writer) error {
 	shardSpec := fs.String("shard", "", "run only shard k/N of each campaign (e.g. 1/4) and write a mergeable shard file under -shard-dir")
 	shardDir := fs.String("shard-dir", "", "directory for shard files (required by -shard and -merge-shards)")
 	mergeShards := fs.Int("merge-shards", 0, "merge N previously written shard files per technique from -shard-dir and report the combined results")
+	watchDir := fs.String("watch", "", "monitor a directory of progress sidecars: render fleet progress (per-shard bars, throughput, ETA, stragglers) until every shard reaches a terminal state; with -json, print one machine-readable fleet snapshot and exit")
+	watchInterval := fs.Duration("watch-interval", 2*time.Second, "refresh period for -watch")
+	logJSON := fs.Bool("log-json", false, "emit structured JSON event logs (campaign start/checkpoint/resume/shard-merge/error) on stderr, correlated by run ID")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *watchDir != "" {
+		return runWatch(*watchDir, *watchInterval, *jsonOut, stdout)
 	}
 	shardK, shardN, err := parseShard(*shardSpec)
 	if err != nil {
@@ -206,6 +215,15 @@ func run(args []string, stdout io.Writer) error {
 		}
 		defer prog.Finish()
 	}
+	// runID correlates this invocation's artifacts — event-log lines,
+	// flight dumps — across the fleet; per-cell config digests (shared
+	// by all shards of a cell) identify each campaign's sidecars.
+	runID := sidecar.ConfigDigest("mlckpt", sys.Name, *techs,
+		strconv.FormatUint(*seed, 10), strconv.Itoa(*trials))
+	var events *obs.EventLog
+	if *logJSON {
+		events = obs.NewEventLog(os.Stderr, "")
+	}
 	var live *obshttp.Live
 	var stats *obs.StreamSet
 	if *listen != "" {
@@ -214,17 +232,33 @@ func run(args []string, stdout io.Writer) error {
 		if flightOn {
 			// Publish an empty dump so /flight serves from the start.
 			if err := live.PublishFlight(func(w io.Writer) error {
-				return trace.WriteFlight(w, nil)
+				return trace.WriteFlightWithRun(w, runID, nil)
 			}); err != nil {
 				return err
 			}
+		}
+		// /shards serves the fleet view over whichever sidecar directory
+		// this process writes into (shard files, or checkpoints).
+		scanDir := *ckptDir
+		if shardN > 0 || *mergeShards > 0 {
+			scanDir = *shardDir
+		}
+		if scanDir != "" {
+			live.SetShards(func() (any, error) {
+				files, err := sidecar.Scan(scanDir)
+				if err != nil {
+					return nil, err
+				}
+				return sidecar.BuildFleet(files, time.Now(), 0), nil
+			})
 		}
 		srv, err := obshttp.Serve(*listen, live.Options())
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "mlckpt: telemetry on http://%s/metrics (also /snapshot, /spans, /flight, /debug/pprof/)\n", srv.Addr())
+		live.SetReady(true)
+		fmt.Fprintf(os.Stderr, "mlckpt: telemetry on http://%s/metrics (also /snapshot, /spans, /shards, /healthz, /flight, /debug/pprof/)\n", srv.Addr())
 	} else if sink != nil {
 		stats = obs.NewStreamSet()
 	}
@@ -324,13 +358,58 @@ func run(args []string, stdout io.Writer) error {
 					Resume:   *resume,
 				}
 			}
+			// The cell digest identifies this campaign's configuration:
+			// every shard of the same cell computes the same digest, so
+			// their sidecars and log lines group into one fleet.
+			cellLabel := sys.Name + "/" + name
+			sinkKind := "exact"
+			if *streamSim {
+				sinkKind = "stream"
+			}
+			cellDigest := sidecar.ConfigDigest(sys.Name, name,
+				strconv.FormatUint(*seed, 10), strconv.Itoa(*trials),
+				strconv.Itoa(camp.Block), sinkKind)
+			cellEvents := events.WithRun(cellDigest)
 			if shardN > 0 {
 				spath := shardPath(*shardDir, sys.Name, name, shardK, shardN)
+				var pool *obs.Pool
+				if sink != nil {
+					pool = &obs.Pool{}
+					camp.ObserverFactory = pool.Observer
+				}
+				sw := sidecar.NewWriter(spath+sidecar.Suffix, sidecar.Meta{
+					RunID: cellDigest, ConfigDigest: cellDigest,
+					Label: cellLabel, Shard: shardK, Of: shardN,
+				})
+				if stats != nil {
+					sw.SetLiveStats(stats.Snapshots)
+				}
+				camp.Progress = sw.Update
+				chainEvents(&camp, cellEvents, cellLabel, "", shardK, shardN)
 				campSpan := tracer.Start("campaign")
 				err := camp.RunShard(spath, shardK, shardN)
 				campSpan.End()
 				if err != nil {
+					// The final failed sidecar was already flushed by the
+					// progress hook.
 					return fmt.Errorf("%s: shard %d/%d: %w", name, shardK, shardN, err)
+				}
+				if pool != nil {
+					m, err := pool.Merged()
+					if err != nil {
+						return err
+					}
+					if err := sink.Merge(m); err != nil {
+						return err
+					}
+					// Enrich the terminal sidecar with the shard's merged
+					// registry so fleet monitors can aggregate telemetry
+					// across processes (sidecar.MergeRegistries).
+					snap := m.Snapshot()
+					sw.SetRegistry(&snap)
+				}
+				if err := sw.Flush(); err != nil {
+					fmt.Fprintln(os.Stderr, "mlckpt: sidecar:", err)
 				}
 				lo, hi := sim.ShardRange(camp.Trials, camp.Block, shardK, shardN)
 				simCol = fmt.Sprintf("shard %d/%d (trials %d..%d)", shardK, shardN, lo, hi-1)
@@ -344,9 +423,28 @@ func run(args []string, stdout io.Writer) error {
 				if err != nil {
 					return fmt.Errorf("%s: merge shards: %w", name, err)
 				}
+				cellEvents.ShardMerge(paths, *trials)
 				simCol = fmt.Sprintf("%.3f±%.3f", res.Efficiency.Mean, res.Efficiency.Std)
 				simRes = &res
 			} else {
+				var sw *sidecar.Writer
+				if camp.Checkpoint != nil {
+					// Checkpointed runs keep a progress sidecar next to the
+					// checkpoint artifact; plain in-memory runs have no
+					// artifact path to anchor one.
+					sw = sidecar.NewWriter(camp.Checkpoint.Path+sidecar.Suffix, sidecar.Meta{
+						RunID: cellDigest, ConfigDigest: cellDigest, Label: cellLabel,
+					})
+					if stats != nil {
+						sw.SetLiveStats(stats.Snapshots)
+					}
+					camp.Progress = sw.Update
+				}
+				ckPath := ""
+				if camp.Checkpoint != nil {
+					ckPath = camp.Checkpoint.Path
+				}
+				chainEvents(&camp, cellEvents, cellLabel, ckPath, 0, 1)
 				var pool *obs.Pool
 				if sink != nil {
 					pool = &obs.Pool{}
@@ -446,13 +544,13 @@ func run(args []string, stdout io.Writer) error {
 					// The black box is most valuable on the crash path: the
 					// aborted trial's stream is pinned as "unterminated".
 					collectFlight()
-					dumpFlight(*flightPath, flightStreams)
+					dumpFlight(*flightPath, runID, flightStreams)
 					return fmt.Errorf("%s: simulate: %w", name, err)
 				}
 				if ckPool != nil {
 					if err := ckPool.Err(); err != nil {
 						collectFlight()
-						dumpFlight(*flightPath, flightStreams)
+						dumpFlight(*flightPath, runID, flightStreams)
 						return fmt.Errorf("%s: conformance: %w", name, err)
 					}
 					if !*jsonOut {
@@ -468,6 +566,15 @@ func run(args []string, stdout io.Writer) error {
 					}
 					if err := sink.Merge(m); err != nil {
 						return err
+					}
+					if sw != nil {
+						snap := m.Snapshot()
+						sw.SetRegistry(&snap)
+					}
+				}
+				if sw != nil {
+					if err := sw.Flush(); err != nil {
+						fmt.Fprintln(os.Stderr, "mlckpt: sidecar:", err)
 					}
 				}
 				simCol = fmt.Sprintf("%.3f±%.3f", res.Efficiency.Mean, res.Efficiency.Std)
@@ -492,7 +599,7 @@ func run(args []string, stdout io.Writer) error {
 			live.PublishSpans(tracer.Snapshot())
 			if flightOn {
 				if err := live.PublishFlight(func(w io.Writer) error {
-					return trace.WriteFlight(w, flightStreams)
+					return trace.WriteFlightWithRun(w, runID, flightStreams)
 				}); err != nil {
 					return err
 				}
@@ -524,7 +631,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := trace.WriteFlight(f, flightStreams); err != nil {
+		if err := trace.WriteFlightWithRun(f, runID, flightStreams); err != nil {
 			f.Close()
 			return err
 		}
@@ -572,6 +679,108 @@ func writeResults(w io.Writer, r runResults) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// runWatch is the fleet monitor (-watch): it scans a directory of
+// progress sidecars, renders per-shard bars with aggregate throughput
+// and ETA plus straggler/stall flags, and repeats every interval until
+// every shard reaches a terminal state. With jsonOut it prints one
+// machine-readable fleet snapshot and exits. A fleet with a failed
+// shard makes the monitor itself exit nonzero.
+func runWatch(dir string, interval time.Duration, jsonOut bool, stdout io.Writer) error {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	scan := func() (sidecar.Fleet, error) {
+		files, err := sidecar.Scan(dir)
+		if err != nil {
+			return sidecar.Fleet{}, err
+		}
+		return sidecar.BuildFleet(files, time.Now(), 0), nil
+	}
+	failErr := func(fl sidecar.Fleet) error {
+		if fl.Failed > 0 {
+			return fmt.Errorf("%d shard(s) failed", fl.Failed)
+		}
+		return nil
+	}
+	if jsonOut {
+		fl, err := scan()
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fl); err != nil {
+			return err
+		}
+		return failErr(fl)
+	}
+	// Redraw in place only on interactive terminals; pipes get appended
+	// frames.
+	ansi := false
+	if f, ok := stdout.(*os.File); ok {
+		if fi, err := f.Stat(); err == nil {
+			ansi = fi.Mode()&os.ModeCharDevice != 0
+		}
+	}
+	prevLines := 0
+	for {
+		fl, err := scan()
+		if err != nil {
+			return err
+		}
+		var frame bytes.Buffer
+		if err := fl.WriteText(&frame); err != nil {
+			return err
+		}
+		if ansi && prevLines > 0 {
+			fmt.Fprintf(stdout, "\x1b[%dA\x1b[J", prevLines)
+		}
+		if _, err := stdout.Write(frame.Bytes()); err != nil {
+			return err
+		}
+		prevLines = bytes.Count(frame.Bytes(), []byte{'\n'})
+		if fl.Terminal() {
+			return failErr(fl)
+		}
+		time.Sleep(interval)
+	}
+}
+
+// chainEvents chains a structured-event emitter onto the campaign's
+// Progress hook (after any sidecar writer already installed):
+// campaign_start on the first update — plus resume when the run picked
+// up a checkpoint — checkpoint on flagged merges, and
+// campaign_error/campaign_end on the terminal update.
+func chainEvents(camp *sim.Campaign, ev *obs.EventLog, label, ckPath string, shard, of int) {
+	if ev == nil {
+		return
+	}
+	prev := camp.Progress
+	started := time.Now()
+	first := true
+	// Progress runs under the runner's merge lock; no extra
+	// synchronization needed for the closure state.
+	camp.Progress = func(u sim.ProgressUpdate) {
+		if prev != nil {
+			prev(u)
+		}
+		if first {
+			first = false
+			ev.CampaignStart(label, shard, of, u.First, u.Limit, u.Total)
+			if u.First > 0 && ckPath != "" {
+				ev.Resume(ckPath, u.First)
+			}
+		}
+		if u.Checkpointed {
+			ev.Checkpoint(ckPath, u.Merged)
+		}
+		if u.Final {
+			ev.Error(string(u.State), u.Err)
+			ev.CampaignEnd(string(u.State), u.Merged, time.Since(started))
+		}
+	}
 }
 
 // parseShard parses a "k/N" shard spec; an empty spec means no
@@ -659,7 +868,7 @@ func finish(stdout io.Writer, traceSummary bool, metricsPath, memprofile string,
 // campaign error paths, where the pinned anomalous streams are exactly
 // what post-mortem debugging needs. Failures to dump are reported but
 // never mask the original error.
-func dumpFlight(path string, streams []trace.FlightStream) {
+func dumpFlight(path, runID string, streams []trace.FlightStream) {
 	if path == "" || len(streams) == 0 {
 		return
 	}
@@ -669,7 +878,7 @@ func dumpFlight(path string, streams []trace.FlightStream) {
 		return
 	}
 	defer f.Close()
-	if err := trace.WriteFlight(f, streams); err != nil {
+	if err := trace.WriteFlightWithRun(f, runID, streams); err != nil {
 		fmt.Fprintln(os.Stderr, "mlckpt: flight dump:", err)
 		return
 	}

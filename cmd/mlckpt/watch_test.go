@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/sidecar"
+	"repro/internal/sim"
+)
+
+// TestShardSidecarsAndWatch runs both shards of a 2-way campaign split,
+// then checks the progress sidecars they leave behind are complete and
+// that -watch aggregates them (one-shot JSON and the text monitor).
+func TestShardSidecarsAndWatch(t *testing.T) {
+	dir := t.TempDir()
+	for _, spec := range []string{"0/2", "1/2"} {
+		var out bytes.Buffer
+		err := run([]string{"-system", "D4", "-techniques", "daly", "-trials", "40",
+			"-shard", spec, "-shard-dir", dir}, &out)
+		if err != nil {
+			t.Fatalf("shard %s: %v", spec, err)
+		}
+	}
+
+	side, err := filepath.Glob(filepath.Join(dir, "*"+sidecar.Suffix))
+	if err != nil || len(side) != 2 {
+		t.Fatalf("want 2 sidecars, got %v (err %v)", side, err)
+	}
+	for _, p := range side {
+		f, err := sidecar.Read(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if f.State != "complete" || f.TrialsMerged != f.TrialsLimit {
+			t.Errorf("%s: state=%s merged=%d limit=%d", p, f.State, f.TrialsMerged, f.TrialsLimit)
+		}
+		if f.RunID == "" || f.Of != 2 {
+			t.Errorf("%s: missing run ID or shard count: %+v", p, f)
+		}
+	}
+
+	// One-shot machine-readable fleet snapshot.
+	var out bytes.Buffer
+	if err := run([]string{"-watch", dir, "-json"}, &out); err != nil {
+		t.Fatalf("-watch -json: %v", err)
+	}
+	var fl sidecar.Fleet
+	if err := json.Unmarshal(out.Bytes(), &fl); err != nil {
+		t.Fatalf("bad fleet JSON: %v\n%s", err, out.String())
+	}
+	if fl.State != "complete" || len(fl.Shards) != 2 ||
+		fl.TrialsTotal != 40 || fl.TrialsMerged != 40 {
+		t.Fatalf("fleet = %+v", fl)
+	}
+
+	// The text monitor exits on its own once the fleet is terminal.
+	out.Reset()
+	if err := run([]string{"-watch", dir, "-watch-interval", "10ms"}, &out); err != nil {
+		t.Fatalf("-watch: %v", err)
+	}
+	if s := out.String(); !strings.Contains(s, "fleet complete") || !strings.Contains(s, "1/2") {
+		t.Errorf("monitor output missing fleet summary or shard line:\n%s", s)
+	}
+}
+
+// TestWatchReportsFailedShards: a failed sidecar makes one-shot -watch
+// -json exit nonzero so fleet drivers notice without parsing.
+func TestWatchReportsFailedShards(t *testing.T) {
+	dir := t.TempDir()
+	w := sidecar.NewWriter(filepath.Join(dir, "bad.progress"), sidecar.Meta{
+		RunID: "deadbeef", Label: "D4/daly", Shard: 0, Of: 1,
+	})
+	w.Update(sim.ProgressUpdate{
+		First: 0, Limit: 40, Merged: 12, Total: 40,
+		State: sim.RunStateFailed, Final: true, Err: errors.New("boom"),
+	})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	err := run([]string{"-watch", dir, "-json"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("want failed-shard error, got %v", err)
+	}
+	var fl sidecar.Fleet
+	if err := json.Unmarshal(out.Bytes(), &fl); err != nil {
+		t.Fatalf("bad fleet JSON: %v\n%s", err, out.String())
+	}
+	if fl.State != "failed" || fl.Failed != 1 {
+		t.Fatalf("fleet = %+v", fl)
+	}
+}

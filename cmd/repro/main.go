@@ -38,11 +38,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
+	"repro/internal/obs/sidecar"
 	"repro/internal/report"
 	"repro/internal/system"
 )
@@ -77,6 +79,7 @@ func run(args []string, stdout io.Writer) error {
 	ckptDir := fs.String("checkpoint", "", "checkpoint each cell's campaign into this directory (resume with -resume); ignored under -crn")
 	ckptInterval := fs.Int("checkpoint-interval", 0, "trials between checkpoint writes (0 = trials/8, at least 1)")
 	resume := fs.Bool("resume", false, "with -checkpoint, resume each cell's campaign from its checkpoint when present")
+	logJSON := fs.Bool("log-json", false, "emit structured JSON event logs (campaign start/checkpoint/resume/end) on stderr, correlated by run ID")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,6 +121,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	which := fs.Arg(0)
+	if *logJSON {
+		// One run ID for the whole invocation; each campaign's events
+		// carry their cell's system name as the label.
+		runID := sidecar.ConfigDigest("repro", which,
+			strconv.FormatUint(*seed, 10), strconv.Itoa(*trials))
+		opt.Events = obs.NewEventLog(os.Stderr, runID)
+	}
 	targets := []string{which}
 	if which == "all" {
 		targets = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6"}

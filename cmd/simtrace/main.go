@@ -9,19 +9,24 @@
 //	simtrace -system D4 -summary        # phase-time breakdown table
 //	simtrace -flight dump.json          # inspect a flight-recorder dump
 //	simtrace -flight dump.json -json    # ... machine-readable
+//	simtrace -progress ckpt-dir/        # aggregate progress sidecars
+//	simtrace -progress shard.progress   # ... or inspect a single one
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/conformance"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/sidecar"
 	"repro/internal/pattern"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -51,11 +56,15 @@ func run(args []string, stdout io.Writer) error {
 	summary := fs.Bool("summary", false, "print the per-trial phase-time breakdown table instead of the raw event stream")
 	check := fs.Bool("check", false, "verify the trial's event stream against the protocol invariants (fails on any violation)")
 	flightFile := fs.String("flight", "", "read a flight-recorder dump (mlckpt -flight) instead of simulating")
+	progress := fs.String("progress", "", "read progress sidecars (a .progress file or a directory of them) instead of simulating")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *flightFile != "" {
 		return readFlight(*flightFile, *jsonOut, *maxEvents, stdout)
+	}
+	if *progress != "" {
+		return readProgress(*progress, *jsonOut, stdout)
 	}
 
 	sys, err := system.ByName(*sysName)
@@ -176,6 +185,37 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
+// readProgress renders progress sidecars — a whole directory of them as
+// an aggregated fleet view, or one .progress file as a fleet of one. In
+// JSON mode the sidecar.Fleet aggregate is emitted for downstream
+// tooling (same payload as mlckpt's /shards endpoint).
+func readProgress(path string, jsonOut bool, stdout io.Writer) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	var files []*sidecar.File
+	if st.IsDir() {
+		files, err = sidecar.Scan(path)
+		if err != nil {
+			return err
+		}
+	} else {
+		f, err := sidecar.Read(path)
+		if err != nil {
+			return err
+		}
+		files = []*sidecar.File{f}
+	}
+	fl := sidecar.BuildFleet(files, time.Now(), 0)
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", " ")
+		return enc.Encode(fl)
+	}
+	return fl.WriteText(stdout)
+}
+
 // readFlight renders a flight-recorder dump: one header line per stream,
 // with up to maxEvents events for held (anomalous) streams. In JSON mode
 // the parsed streams are re-emitted verbatim for downstream tooling.
@@ -185,18 +225,21 @@ func readFlight(path string, jsonOut bool, maxEvents int, stdout io.Writer) erro
 		return err
 	}
 	defer f.Close()
-	streams, err := trace.ReadFlight(f)
+	streams, runID, err := trace.ReadFlightRun(f)
 	if err != nil {
 		return err
 	}
 	if jsonOut {
-		return trace.WriteFlight(stdout, streams)
+		return trace.WriteFlightWithRun(stdout, runID, streams)
 	}
 	held := 0
 	for _, s := range streams {
 		if s.Held {
 			held++
 		}
+	}
+	if runID != "" {
+		fmt.Fprintf(stdout, "run: %s\n", runID)
 	}
 	fmt.Fprintf(stdout, "flight dump: %d streams (%d held)\n", len(streams), held)
 	for _, s := range streams {

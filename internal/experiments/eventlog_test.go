@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pattern"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// TestRunCampaignEmitsEvents: with Options.Events set, a checkpointed
+// campaign emits run-ID-correlated start, checkpoint, and end records.
+func TestRunCampaignEmitsEvents(t *testing.T) {
+	sys := d4(t)
+	var sb strings.Builder
+	opt := Options{
+		Events:             obs.NewEventLog(&sb, "evrun01"),
+		CheckpointDir:      t.TempDir(),
+		CheckpointInterval: 8,
+	}
+	camp := sim.Campaign{
+		Scenario: opt.scenarioFor(sys, pattern.Plan{Tau0: 2, Counts: []int{3}, Levels: []int{1, 2}}),
+		Trials:   32,
+		Workers:  2,
+		Seed:     rng.Campaign(7, "events").Scenario(sys.Name),
+	}
+	if _, _, err := opt.runCampaign(camp); err != nil {
+		t.Fatal(err)
+	}
+
+	var msgs []string
+	checkpoints := 0
+	var last map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		if m["run_id"] != "evrun01" {
+			t.Fatalf("event missing run_id: %v", m)
+		}
+		msgs = append(msgs, m["msg"].(string))
+		if m["msg"] == "checkpoint" {
+			checkpoints++
+			if m["path"] == "" || m["trials_merged"].(float64) <= 0 {
+				t.Fatalf("checkpoint event: %v", m)
+			}
+		}
+		last = m
+	}
+	if len(msgs) < 3 || msgs[0] != "campaign_start" {
+		t.Fatalf("events = %v, want campaign_start first", msgs)
+	}
+	if checkpoints == 0 {
+		t.Fatal("no checkpoint events")
+	}
+	if last["msg"] != "campaign_end" || last["state"] != "complete" ||
+		last["trials_merged"] != float64(32) {
+		t.Fatalf("last event = %v, want complete campaign_end at 32", last)
+	}
+}
+
+// TestRunCampaignEventsComposeWithProgress: the event emitter must
+// chain, not replace, an already-installed Progress hook (the sidecar
+// writer and the event log share the campaign's hook slot).
+func TestRunCampaignEventsComposeWithProgress(t *testing.T) {
+	sys := d4(t)
+	var sb strings.Builder
+	opt := Options{Events: obs.NewEventLog(&sb, "evrun02")}
+	seen := 0
+	camp := sim.Campaign{
+		Scenario: opt.scenarioFor(sys, pattern.Plan{Tau0: 2, Counts: []int{3}, Levels: []int{1, 2}}),
+		Trials:   16,
+		Seed:     rng.Campaign(7, "events").Scenario(sys.Name),
+		Progress: func(u sim.ProgressUpdate) { seen++ },
+	}
+	if _, _, err := opt.runCampaign(camp); err != nil {
+		t.Fatal(err)
+	}
+	if seen == 0 {
+		t.Fatal("inner Progress hook was not called")
+	}
+	if !strings.Contains(sb.String(), "campaign_end") {
+		t.Fatal("event log missing campaign_end")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -107,6 +108,10 @@ type Options struct {
 	// Resume, with CheckpointDir, resumes each cell's campaign from its
 	// checkpoint file when present.
 	Resume bool
+	// Events, when non-nil, receives structured campaign lifecycle
+	// events — start, checkpoint, resume, terminal state — as JSON log
+	// lines (see obs.EventLog). The CLIs enable it with -log-json.
+	Events *obs.EventLog
 }
 
 // fastCounts is the reduced N_i candidate set used in Fast mode.
@@ -210,6 +215,45 @@ func (o Options) applySink(camp *sim.Campaign, label string) {
 	}
 }
 
+// applyEvents chains a structured-event emitter onto the campaign's
+// Progress hook: campaign_start on the first update (plus resume, when
+// the run picked up a checkpoint), checkpoint on flagged merges, and
+// campaign_error/campaign_end on the terminal update. It composes with
+// any Progress hook already installed.
+func (o Options) applyEvents(camp *sim.Campaign, label string) {
+	if o.Events == nil {
+		return
+	}
+	ev, prev := o.Events, camp.Progress
+	ckPath := ""
+	if camp.Checkpoint != nil {
+		ckPath = camp.Checkpoint.Path
+	}
+	started := time.Now()
+	first := true
+	// Progress runs under the runner's merge lock, so the closure state
+	// needs no extra synchronization.
+	camp.Progress = func(u sim.ProgressUpdate) {
+		if prev != nil {
+			prev(u)
+		}
+		if first {
+			first = false
+			ev.CampaignStart(label, 0, 1, u.First, u.Limit, u.Total)
+			if u.First > 0 && ckPath != "" {
+				ev.Resume(ckPath, u.First)
+			}
+		}
+		if u.Checkpointed {
+			ev.Checkpoint(ckPath, u.Merged)
+		}
+		if u.Final {
+			ev.Error(string(u.State), u.Err)
+			ev.CampaignEnd(string(u.State), u.Merged, time.Since(started))
+		}
+	}
+}
+
 // sanitizeCell maps a cell label to a safe filename.
 func sanitizeCell(label string) string {
 	return strings.Map(func(r rune) rune {
@@ -233,6 +277,7 @@ func (o Options) runCampaign(camp sim.Campaign) (sim.CampaignResult, *obs.SimMet
 	// (sensitivity, ablations): the seed-word hash in the filename keeps
 	// cells distinct even under the bare system-name label.
 	o.applySink(&camp, camp.Scenario.System.Name)
+	o.applyEvents(&camp, camp.Scenario.System.Name)
 	campSpan := o.Spans.Start("campaign")
 	defer campSpan.End()
 	setupSpan := o.Spans.Start("setup")

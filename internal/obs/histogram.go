@@ -29,10 +29,14 @@ type Histogram struct {
 	counts   []uint64 // len nb+2 once allocated: [under, b1..bnb, over]
 	count    uint64
 	rejected uint64
-	sum      float64
-	sumSq    float64
-	min      float64
-	max      float64
+	// sum and sumSq are exact superaccumulators, so merges are
+	// associative: any shard partition of the same samples produces
+	// bit-identical Sum/Mean/Std — the property fleet-wide cross-process
+	// registry merges rely on.
+	sum   ExactSum
+	sumSq ExactSum
+	min   float64
+	max   float64
 }
 
 // NewHistogram returns a histogram with the default bucket scheme.
@@ -106,8 +110,14 @@ func (h *Histogram) Observe(v float64) {
 		}
 	}
 	h.count++
-	h.sum += v
-	h.sumSq += v * v
+	h.sum.Add(v)
+	sq := v * v
+	if math.IsInf(sq, 1) {
+		// v*v overflows for |v| > ~1.3e154; clamp so the variance path
+		// stays finite (it saturates rather than poisoning the sum).
+		sq = math.MaxFloat64
+	}
+	h.sumSq.Add(sq)
 }
 
 // Count returns the number of accepted samples.
@@ -116,8 +126,9 @@ func (h *Histogram) Count() uint64 { return h.count }
 // Rejected returns the number of rejected (non-finite) samples.
 func (h *Histogram) Rejected() uint64 { return h.rejected }
 
-// Sum returns the sum of accepted samples.
-func (h *Histogram) Sum() float64 { return h.sum }
+// Sum returns the sum of accepted samples (exactly accumulated, rounded
+// once on read).
+func (h *Histogram) Sum() float64 { return h.sum.Round() }
 
 // Min returns the smallest sample (NaN when empty).
 func (h *Histogram) Min() float64 {
@@ -140,7 +151,7 @@ func (h *Histogram) Mean() float64 {
 	if h.count == 0 {
 		return math.NaN()
 	}
-	return h.sum / float64(h.count)
+	return h.sum.Round() / float64(h.count)
 }
 
 // Std returns the sample standard deviation (NaN when empty, 0 for a
@@ -153,8 +164,8 @@ func (h *Histogram) Std() float64 {
 		return 0
 	}
 	n := float64(h.count)
-	mean := h.sum / n
-	v := (h.sumSq - n*mean*mean) / (n - 1)
+	mean := h.sum.Round() / n
+	v := (h.sumSq.Round() - n*mean*mean) / (n - 1)
 	if v < 0 {
 		v = 0 // rounding
 	}
@@ -256,44 +267,60 @@ func (h *Histogram) Merge(o *Histogram) error {
 		}
 	}
 	h.count += o.count
-	h.sum += o.sum
-	h.sumSq += o.sumSq
+	h.sum.Merge(&o.sum)
+	h.sumSq.Merge(&o.sumSq)
 	return nil
 }
 
 // HistogramBucket is one non-empty bucket in a snapshot: Count samples
 // at values <= UpperBound (and above the previous bucket's bound).
+// Index is the bucket's position in the scheme (0 = underflow,
+// nb+1 = overflow), which makes restoration from a snapshot exact even
+// though the overflow bucket's serialized bound is the observed max.
 type HistogramBucket struct {
 	UpperBound float64 `json:"le"`
 	Count      uint64  `json:"count"`
+	Index      int     `json:"i"`
 }
 
 // HistogramSnapshot is one histogram in a snapshot. Quantiles holds the
-// p50/p90/p99 estimates; Buckets lists only non-empty buckets.
+// p50/p90/p99 estimates; Buckets lists only non-empty buckets. The
+// scheme fields (Lo, Hi, PerDecade) and the exact sum states make the
+// snapshot portable: HistogramFromSnapshot reconstructs a histogram
+// that merges exactly, so shard snapshots serialized by different
+// processes aggregate to the same bits a single process would produce.
 type HistogramSnapshot struct {
-	Name     string            `json:"name"`
-	Labels   []Label           `json:"labels,omitempty"`
-	Count    uint64            `json:"count"`
-	Rejected uint64            `json:"rejected,omitempty"`
-	Sum      float64           `json:"sum"`
-	Min      float64           `json:"min"`
-	Max      float64           `json:"max"`
-	Mean     float64           `json:"mean"`
-	Std      float64           `json:"std"`
-	P50      float64           `json:"p50"`
-	P90      float64           `json:"p90"`
-	P99      float64           `json:"p99"`
-	Buckets  []HistogramBucket `json:"buckets,omitempty"`
+	Name       string            `json:"name"`
+	Labels     []Label           `json:"labels,omitempty"`
+	Count      uint64            `json:"count"`
+	Rejected   uint64            `json:"rejected,omitempty"`
+	Sum        float64           `json:"sum"`
+	Min        float64           `json:"min"`
+	Max        float64           `json:"max"`
+	Mean       float64           `json:"mean"`
+	Std        float64           `json:"std"`
+	P50        float64           `json:"p50"`
+	P90        float64           `json:"p90"`
+	P99        float64           `json:"p99"`
+	Lo         float64           `json:"lo,omitempty"`
+	Hi         float64           `json:"hi,omitempty"`
+	PerDecade  int               `json:"per_decade,omitempty"`
+	SumExact   *ExactSumState    `json:"sum_exact,omitempty"`
+	SumSqExact *ExactSumState    `json:"sumsq_exact,omitempty"`
+	Buckets    []HistogramBucket `json:"buckets,omitempty"`
 }
 
 func (h *Histogram) snapshot(name string, labels []Label) HistogramSnapshot {
 	s := HistogramSnapshot{
 		Name: name, Labels: labels,
-		Count: h.count, Rejected: h.rejected, Sum: h.sum,
+		Count: h.count, Rejected: h.rejected, Sum: h.sum.Round(),
+		Lo: h.lo, Hi: h.hi, PerDecade: h.perDecade,
 	}
 	if h.count > 0 {
 		s.Min, s.Max, s.Mean, s.Std = h.min, h.max, h.Mean(), h.Std()
 		s.P50, s.P90, s.P99 = h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99)
+		sum, sumSq := h.sum.State(), h.sumSq.State()
+		s.SumExact, s.SumSqExact = &sum, &sumSq
 	}
 	for i, c := range h.counts {
 		if c == 0 {
@@ -303,7 +330,64 @@ func (h *Histogram) snapshot(name string, labels []Label) HistogramSnapshot {
 		if math.IsInf(ub, 1) {
 			ub = h.max // JSON cannot carry +Inf; the exact max bounds the overflow bucket
 		}
-		s.Buckets = append(s.Buckets, HistogramBucket{UpperBound: ub, Count: c})
+		s.Buckets = append(s.Buckets, HistogramBucket{UpperBound: ub, Count: c, Index: i})
 	}
 	return s
+}
+
+// HistogramFromSnapshot reconstructs a histogram from its snapshot. When
+// the snapshot carries exact sum states (any snapshot produced since
+// they were introduced), the reconstruction is lossless: merging
+// restored histograms equals merging the originals, bit for bit. Legacy
+// snapshots without them degrade gracefully — the rounded Sum seeds the
+// accumulator and sumSq is recovered from Std/Mean — and remain
+// mergeable, just without the exactness guarantee.
+func HistogramFromSnapshot(s HistogramSnapshot) (*Histogram, error) {
+	lo, hi, pd := s.Lo, s.Hi, s.PerDecade
+	if pd == 0 {
+		lo, hi, pd = defaultLo, defaultHi, defaultBucketsPerDecade
+	}
+	h, err := NewHistogramScheme(lo, hi, pd)
+	if err != nil {
+		return nil, fmt.Errorf("obs: histogram %q: %w", s.Name, err)
+	}
+	h.count, h.rejected = s.Count, s.Rejected
+	if s.Count > 0 {
+		h.min, h.max = s.Min, s.Max
+	}
+	if len(s.Buckets) > 0 {
+		h.counts = make([]uint64, h.nb+2)
+		var total uint64
+		for _, b := range s.Buckets {
+			if b.Index < 0 || b.Index > h.nb+1 {
+				return nil, fmt.Errorf("obs: histogram %q: bucket index %d out of range", s.Name, b.Index)
+			}
+			if b.Index == 0 && b.UpperBound > h.lo {
+				return nil, fmt.Errorf("obs: histogram %q: snapshot predates bucket indices", s.Name)
+			}
+			h.counts[b.Index] += b.Count
+			total += b.Count
+		}
+		if total != s.Count {
+			return nil, fmt.Errorf("obs: histogram %q: bucket counts sum to %d, want %d", s.Name, total, s.Count)
+		}
+	} else if s.Count > 0 {
+		return nil, fmt.Errorf("obs: histogram %q: count %d but no buckets", s.Name, s.Count)
+	}
+	if s.SumExact != nil {
+		if h.sum, err = ExactSumFromState(*s.SumExact); err != nil {
+			return nil, fmt.Errorf("obs: histogram %q: sum: %w", s.Name, err)
+		}
+	} else {
+		h.sum.Add(s.Sum)
+	}
+	if s.SumSqExact != nil {
+		if h.sumSq, err = ExactSumFromState(*s.SumSqExact); err != nil {
+			return nil, fmt.Errorf("obs: histogram %q: sumsq: %w", s.Name, err)
+		}
+	} else if s.Count > 0 {
+		n := float64(s.Count)
+		h.sumSq.Add(s.Std*s.Std*(n-1) + n*s.Mean*s.Mean)
+	}
+	return h, nil
 }

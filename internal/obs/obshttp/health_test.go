@@ -1,0 +1,91 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	srv := httptest.NewServer(Handler(Options{}))
+	defer srv.Close()
+	if code, body := get(t, srv.URL, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+}
+
+func TestReadyz(t *testing.T) {
+	// No gate: always ready.
+	srv := httptest.NewServer(Handler(Options{}))
+	if code, _ := get(t, srv.URL, "/readyz"); code != 200 {
+		t.Fatalf("ungated /readyz = %d", code)
+	}
+	srv.Close()
+
+	ready := false
+	srv = httptest.NewServer(Handler(Options{Ready: func() bool { return ready }}))
+	defer srv.Close()
+	if code, body := get(t, srv.URL, "/readyz"); code != 503 || !strings.Contains(body, "not ready") {
+		t.Fatalf("not-ready /readyz = %d %q", code, body)
+	}
+	ready = true
+	if code, body := get(t, srv.URL, "/readyz"); code != 200 || !strings.Contains(body, "ready") {
+		t.Fatalf("ready /readyz = %d %q", code, body)
+	}
+}
+
+func TestShardsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler(Options{}))
+	if code, _ := get(t, srv.URL, "/shards"); code != 404 {
+		t.Fatalf("sourceless /shards = %d", code)
+	}
+	srv.Close()
+
+	fail := errors.New("scan failed")
+	var src func() (any, error)
+	srv = httptest.NewServer(Handler(Options{Shards: func() (any, error) { return src() }}))
+	defer srv.Close()
+
+	src = func() (any, error) { return nil, fail }
+	if code, body := get(t, srv.URL, "/shards"); code != 500 || !strings.Contains(body, "scan failed") {
+		t.Fatalf("failing /shards = %d %q", code, body)
+	}
+
+	src = func() (any, error) {
+		return map[string]any{"state": "running", "trials_merged": 42}, nil
+	}
+	code, body := get(t, srv.URL, "/shards")
+	if code != 200 {
+		t.Fatalf("/shards = %d", code)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("/shards body %q: %v", body, err)
+	}
+	if m["state"] != "running" || m["trials_merged"] != float64(42) {
+		t.Fatalf("/shards payload = %v", m)
+	}
+}
+
+func TestLiveReadyAndShards(t *testing.T) {
+	l := NewLive()
+	l.SetShards(func() (any, error) { return map[string]any{"state": "complete"}, nil })
+	srv := httptest.NewServer(Handler(l.Options()))
+	defer srv.Close()
+
+	if code, _ := get(t, srv.URL, "/readyz"); code != 503 {
+		t.Fatalf("fresh Live /readyz = %d, want 503 until SetReady", code)
+	}
+	l.SetReady(true)
+	if code, _ := get(t, srv.URL, "/readyz"); code != 200 {
+		t.Fatal("/readyz not ready after SetReady(true)")
+	}
+	if code, body := get(t, srv.URL, "/shards"); code != 200 || !strings.Contains(body, "complete") {
+		t.Fatalf("Live /shards = %d %q", code, body)
+	}
+	if code, _ := get(t, srv.URL, "/healthz"); code != 200 {
+		t.Fatal("/healthz failed")
+	}
+}

@@ -25,6 +25,8 @@ type Live struct {
 	snap   obs.Snapshot
 	spans  []obs.SpanNode
 	flight []byte
+	ready  bool
+	shards func() (any, error)
 }
 
 // NewLive returns a source with an empty stream set.
@@ -60,6 +62,30 @@ func (l *Live) PublishFlight(dump func(io.Writer) error) error {
 	return nil
 }
 
+// SetReady flips the /readyz state. Commands mark themselves ready once
+// sources are publishing (e.g. after the first experiment target starts)
+// and may clear it during shutdown so probes drain traffic first.
+func (l *Live) SetReady(ready bool) {
+	l.mu.Lock()
+	l.ready = ready
+	l.mu.Unlock()
+}
+
+// SetShards installs the fleet progress source served at /shards —
+// typically a closure scanning a sidecar directory into a
+// sidecar.Fleet. Install before calling Options/Serve.
+func (l *Live) SetShards(f func() (any, error)) {
+	l.mu.Lock()
+	l.shards = f
+	l.mu.Unlock()
+}
+
+func (l *Live) isReady() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ready
+}
+
 func (l *Live) snapshot() obs.Snapshot {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -91,10 +117,14 @@ func (l *Live) Options() Options {
 		Snapshot: l.snapshot,
 		Spans:    l.spanForest,
 		Stats:    l.Stats.Snapshots,
+		Ready:    l.isReady,
 	}
 	l.mu.Lock()
 	if l.flight != nil {
 		o.Flight = l.writeFlight
+	}
+	if l.shards != nil {
+		o.Shards = l.shards
 	}
 	l.mu.Unlock()
 	return o

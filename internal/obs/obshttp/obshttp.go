@@ -36,6 +36,15 @@ type Options struct {
 	// Flight writes the flight-recorder dump for /flight (wire it to
 	// trace.FlightPool.Dump).
 	Flight func(io.Writer) error
+	// Ready gates /readyz: nil means always ready (the endpoint still
+	// answers 200, so probes work on commands that never gate), false
+	// answers 503. Commands flip it once their telemetry sources are
+	// publishing (see Live.SetReady).
+	Ready func() bool
+	// Shards supplies the fleet progress view for /shards — typically a
+	// closure scanning a sidecar directory into a sidecar.Fleet. The
+	// value is rendered as JSON; an error answers 500.
+	Shards func() (any, error)
 }
 
 // Handler returns the telemetry mux (exported separately from Serve for
@@ -99,6 +108,35 @@ func Handler(opts Options) http.Handler {
 		if err := opts.Flight(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness: the process answers, so it is alive.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if opts.Ready != nil && !opts.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "not ready\n")
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("/shards", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Shards == nil {
+			http.NotFound(w, r)
+			return
+		}
+		fleet, err := opts.Shards()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(fleet)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

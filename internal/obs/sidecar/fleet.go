@@ -1,0 +1,241 @@
+package sidecar
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// DefaultStaleFactor is the default staleness multiplier: a running
+// shard whose sidecar has not been refreshed within StaleFactor × its
+// own RefreshMS is flagged stalled (the writer flushes at least every
+// refresh period while blocks merge, so k missed periods means the
+// process is wedged, killed, or starved).
+const DefaultStaleFactor = 3
+
+// minStaleWindow bounds the stall window from below so very fast
+// refresh cadences don't flag shards during ordinary scheduling jitter.
+const minStaleWindow = 2 * time.Second
+
+// stragglerRatio: a running shard whose completed fraction is below
+// this ratio of the fleet's median fraction is flagged a straggler.
+const stragglerRatio = 0.5
+
+// ShardStatus is one sidecar plus the monitor-side derived state.
+type ShardStatus struct {
+	File
+	Path string `json:"path,omitempty"`
+	// AgeSeconds is how long ago the sidecar was last refreshed,
+	// relative to the monitor's clock.
+	AgeSeconds float64 `json:"age_seconds"`
+	// Fraction is the completed fraction of the shard's own range.
+	Fraction float64 `json:"fraction"`
+	// Stalled: running but not refreshed within staleFactor × refresh.
+	Stalled bool `json:"stalled,omitempty"`
+	// Straggler: running with a completed fraction far below the fleet
+	// median.
+	Straggler bool `json:"straggler,omitempty"`
+}
+
+// Fleet is the aggregate view over a directory of sidecars — the
+// payload of mlckpt -watch -json and obshttp /shards.
+type Fleet struct {
+	// State summarizes the fleet: failed if any shard failed, else
+	// running if any is still running, else halted if any halted, else
+	// complete (empty for an empty fleet).
+	State  string        `json:"state"`
+	Shards []ShardStatus `json:"shards"`
+	// TrialsTotal sums the shard ranges (for one fully sharded campaign
+	// this equals the campaign's trial count; for a directory holding
+	// several cells it is the fleet's total planned work).
+	TrialsTotal  int     `json:"trials_total"`
+	TrialsMerged int     `json:"trials_merged"`
+	Fraction     float64 `json:"fraction"`
+	// ThroughputPerSec sums the running shards' throughputs.
+	ThroughputPerSec float64 `json:"throughput_per_sec,omitempty"`
+	// ETASeconds is the max over running shards' ETAs — the fleet
+	// finishes when its slowest shard does.
+	ETASeconds float64 `json:"eta_seconds,omitempty"`
+	Running    int     `json:"running"`
+	Complete   int     `json:"complete"`
+	Failed     int     `json:"failed,omitempty"`
+	Halted     int     `json:"halted,omitempty"`
+	Stalled    int     `json:"stalled,omitempty"`
+	Stragglers int     `json:"stragglers,omitempty"`
+}
+
+// BuildFleet derives the fleet view from a scanned shard set at time
+// now. staleFactor <= 0 means DefaultStaleFactor.
+func BuildFleet(files []*File, now time.Time, staleFactor float64) Fleet {
+	if staleFactor <= 0 {
+		staleFactor = DefaultStaleFactor
+	}
+	var fl Fleet
+	fracs := make([]float64, 0, len(files))
+	for _, f := range files {
+		st := ShardStatus{
+			File:       *f,
+			Path:       f.Path,
+			AgeSeconds: now.Sub(time.UnixMilli(f.UpdatedUnixMS)).Seconds(),
+			Fraction:   f.Fraction(),
+		}
+		if st.State == string(sim.RunStateRunning) {
+			window := time.Duration(float64(f.RefreshMS)*staleFactor) * time.Millisecond
+			if window < minStaleWindow {
+				window = minStaleWindow
+			}
+			st.Stalled = st.AgeSeconds > window.Seconds()
+		}
+		fracs = append(fracs, st.Fraction)
+		fl.Shards = append(fl.Shards, st)
+	}
+	med := median(fracs)
+	for i := range fl.Shards {
+		st := &fl.Shards[i]
+		if st.State == string(sim.RunStateRunning) && len(fl.Shards) >= 2 &&
+			st.Fraction < stragglerRatio*med {
+			st.Straggler = true
+		}
+		fl.TrialsTotal += st.TrialsLimit - st.TrialsFirst
+		fl.TrialsMerged += st.TrialsMerged - st.TrialsFirst
+		switch st.State {
+		case string(sim.RunStateRunning):
+			fl.Running++
+			fl.ThroughputPerSec += st.ThroughputPerSec
+			if st.ETASeconds > fl.ETASeconds {
+				fl.ETASeconds = st.ETASeconds
+			}
+		case string(sim.RunStateComplete):
+			fl.Complete++
+		case string(sim.RunStateFailed):
+			fl.Failed++
+		case string(sim.RunStateHalted):
+			fl.Halted++
+		}
+		if st.Stalled {
+			fl.Stalled++
+		}
+		if st.Straggler {
+			fl.Stragglers++
+		}
+	}
+	if fl.TrialsTotal > 0 {
+		fl.Fraction = float64(fl.TrialsMerged) / float64(fl.TrialsTotal)
+	}
+	switch {
+	case len(fl.Shards) == 0:
+		fl.State = ""
+	case fl.Failed > 0:
+		fl.State = string(sim.RunStateFailed)
+	case fl.Running > 0:
+		fl.State = string(sim.RunStateRunning)
+	case fl.Halted > 0:
+		fl.State = string(sim.RunStateHalted)
+	default:
+		fl.State = string(sim.RunStateComplete)
+	}
+	return fl
+}
+
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Terminal reports whether every shard reached a terminal state (and
+// there is at least one shard) — the watch loop's exit condition.
+func (fl Fleet) Terminal() bool {
+	return len(fl.Shards) > 0 && fl.Running == 0
+}
+
+// WriteText renders the fleet as a human-readable monitor frame:
+// a summary line plus one bar per shard.
+func (fl Fleet) WriteText(w io.Writer) error {
+	if len(fl.Shards) == 0 {
+		_, err := fmt.Fprintln(w, "no progress sidecars found")
+		return err
+	}
+	var counts []string
+	add := func(n int, what string) {
+		if n > 0 {
+			counts = append(counts, fmt.Sprintf("%d %s", n, what))
+		}
+	}
+	add(fl.Running, "running")
+	add(fl.Complete, "complete")
+	add(fl.Failed, "failed")
+	add(fl.Halted, "halted")
+	add(fl.Stalled, "stalled")
+	add(fl.Stragglers, "straggling")
+	if _, err := fmt.Fprintf(w, "fleet %-8s %d/%d trials (%5.1f%%)  %s  ETA %s  [%s]\n",
+		fl.State, fl.TrialsMerged, fl.TrialsTotal, 100*fl.Fraction,
+		rate(fl.ThroughputPerSec), eta(fl.ETASeconds), strings.Join(counts, ", ")); err != nil {
+		return err
+	}
+	for _, st := range fl.Shards {
+		name := st.Label
+		if name == "" {
+			name = st.RunID
+		}
+		if st.Of > 1 {
+			name = fmt.Sprintf("%s %d/%d", name, st.Shard, st.Of)
+		}
+		flags := st.State
+		if st.Stalled {
+			flags += fmt.Sprintf(", stalled %.0fs", st.AgeSeconds)
+		}
+		if st.Straggler {
+			flags += ", straggler"
+		}
+		if st.Error != "" {
+			flags += ": " + st.Error
+		}
+		if _, err := fmt.Fprintf(w, "  %-24s %s %5.1f%%  %9s  ETA %-8s %s\n",
+			name, bar(st.Fraction, 20), 100*st.Fraction,
+			rate(st.ThroughputPerSec), eta(st.ETASeconds), flags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	full := int(frac * float64(width))
+	return "[" + strings.Repeat("#", full) + strings.Repeat("-", width-full) + "]"
+}
+
+func rate(perSec float64) string {
+	switch {
+	case perSec <= 0:
+		return "-"
+	case perSec >= 10:
+		return fmt.Sprintf("%.0f/s", perSec)
+	default:
+		return fmt.Sprintf("%.2f/s", perSec)
+	}
+}
+
+func eta(sec float64) string {
+	if sec <= 0 {
+		return "-"
+	}
+	return time.Duration(sec * float64(time.Second)).Round(time.Second).String()
+}

@@ -39,6 +39,14 @@ func grow(s []float64, n int) []float64 {
 	return s
 }
 
+// reuse empties a per-level slice keeping its capacity — the
+// observed-trial hot path recycles these between trials (grow appends
+// fresh zeros into the retained array), so the steady-state observer
+// performs no allocation at all.
+func reuse(s []float64) []float64 {
+	return s[:0]
+}
+
 func addTo(s *[]float64, level int, v float64) {
 	*s = grow(*s, level)
 	(*s)[level-1] += v
@@ -248,8 +256,17 @@ func (m *SimMetrics) restartHist(lvl int, ok bool) *Histogram {
 	return m.rstHistBad[lvl-1]
 }
 
+// resetTrial clears the per-trial state while recycling the breakdown's
+// level slices (grow reuses the retained capacity, so steady-state
+// trials allocate nothing). A consequence: the slices inside a
+// previously returned Last() are only valid until the next trial begins.
 func (m *SimMetrics) resetTrial() {
-	m.last = Breakdown{}
+	m.last = Breakdown{
+		CheckpointOK:     reuse(m.last.CheckpointOK),
+		CheckpointWasted: reuse(m.last.CheckpointWasted),
+		RestartOK:        reuse(m.last.RestartOK),
+		RestartFailed:    reuse(m.last.RestartFailed),
+	}
 	m.open = false
 	m.highWater = 0
 	m.awaitRecovery = false

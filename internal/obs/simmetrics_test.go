@@ -263,3 +263,35 @@ func TestMultiSkipsNil(t *testing.T) {
 		t.Fatalf("useful = %v, want 2", m.Last().ComputeUseful)
 	}
 }
+
+// TestObservedTrialAllocFree pins the satellite guarantee that the
+// observed-trial hot path performs zero heap allocations in steady
+// state: after a warmup (which registers every instrument and sizes the
+// recycled per-level scratch), further observed trials must not
+// allocate. This is the regression guard for the 8 allocs/op that
+// resetTrial's slice drop used to cost (see BENCH_obs.json).
+func TestObservedTrialAllocFree(t *testing.T) {
+	cfg := failureHeavyConfig(t)
+	m := NewSimMetrics()
+	eng, err := sim.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Observe(m)
+	seed := rng.Campaign(1, "obs-allocs")
+	for i := 0; i < 50; i++ {
+		if _, err := eng.Run(seed.Trial(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trial := 50
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := eng.Run(seed.Trial(trial)); err != nil {
+			t.Fatal(err)
+		}
+		trial++
+	})
+	if allocs != 0 {
+		t.Fatalf("observed trial allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// buildShardRegistry populates a registry the way a campaign shard
+// would: counters, histograms with float-heavy observations, a gauge.
+func buildShardRegistry(rng *rand.Rand, shard int) *Registry {
+	r := NewRegistry()
+	n := 50 + rng.Intn(100)
+	trials := r.Counter("trials_total")
+	wall := r.Histogram("wall_minutes")
+	eff := r.Histogram("efficiency", "tech", "daly")
+	for i := 0; i < n; i++ {
+		trials.Inc()
+		wall.Observe(rng.ExpFloat64() * 1e3)
+		eff.Observe(rng.Float64())
+	}
+	r.Gauge("shard_id", "shard", strconv.Itoa(shard)).Set(float64(shard))
+	return r
+}
+
+// TestSnapshotRestoreLossless: a snapshot serialized to JSON and
+// restored yields a registry whose snapshot is byte-identical.
+func TestSnapshotRestoreLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	r := buildShardRegistry(rng, 0)
+	var orig bytes.Buffer
+	if err := r.WriteJSON(&orig); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSnapshot(bytes.NewReader(orig.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RegistryFromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back bytes.Buffer
+	if err := restored.WriteJSON(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), back.Bytes()) {
+		t.Fatalf("restored snapshot differs:\n%s\nvs\n%s", orig.String(), back.String())
+	}
+}
+
+// TestMergeSnapshotsMatchesLiveMerge is the cross-process determinism
+// core: serializing shard registries to JSON, restoring, and merging
+// must equal merging the live registries — byte-identical snapshots —
+// even though the histograms accumulate floats.
+func TestMergeSnapshotsMatchesLiveMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const shards = 4
+	regs := make([]*Registry, shards)
+	snaps := make([]Snapshot, shards)
+	for i := range regs {
+		regs[i] = buildShardRegistry(rng, i)
+		var buf bytes.Buffer
+		if err := regs[i].WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		s, err := ReadSnapshot(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps[i] = s
+	}
+
+	live := NewRegistry()
+	for _, r := range regs {
+		if err := live.Merge(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want bytes.Buffer
+	if err := live.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := MergeSnapshots(snaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := merged.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("cross-process merge differs from live merge:\n%s\nvs\n%s", want.String(), got.String())
+	}
+
+	// And the merge must be order-independent (gauges here are labeled
+	// per shard, so no last-writer ambiguity).
+	rev := make([]Snapshot, shards)
+	for i := range snaps {
+		rev[i] = snaps[shards-1-i]
+	}
+	merged2, err := MergeSnapshots(rev...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got2 bytes.Buffer
+	if err := merged2.WriteJSON(&got2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got2.Bytes()) {
+		t.Fatalf("reverse-order cross-process merge differs from live merge")
+	}
+}
+
+// TestSpanForestRoundTrip: tracer snapshots restore and merge exactly.
+func TestSpanForestRoundTrip(t *testing.T) {
+	mk := func(durs ...time.Duration) *Tracer {
+		tick := time.Unix(0, 0)
+		tr := NewTracer()
+		tr.now = func() time.Time { return tick }
+		for _, d := range durs {
+			s := tr.Start("campaign")
+			c := tr.Start("trial")
+			tick = tick.Add(d)
+			c.End()
+			s.End()
+		}
+		return tr
+	}
+	a := mk(time.Millisecond, 2*time.Millisecond)
+	b := mk(5 * time.Millisecond)
+
+	liveMerged := NewTracer()
+	liveMerged.Merge(a)
+	liveMerged.Merge(b)
+	want := liveMerged.Snapshot()
+
+	got := MergeSpanForests(a.Snapshot(), b.Snapshot())
+	var wb, gb bytes.Buffer
+	if err := (Snapshot{Spans: want}).WriteJSON(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Snapshot{Spans: got}).WriteJSON(&gb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wb.Bytes(), gb.Bytes()) {
+		t.Fatalf("span forest merge mismatch:\n%s\nvs\n%s", wb.String(), gb.String())
+	}
+}

@@ -221,7 +221,14 @@ func (c Campaign) RunShard(path string, shard, of int) error {
 	if _, err := c.runBlocks(sink, lo, hi); err != nil {
 		return err
 	}
-	return c.writeSinkFile(path, sink, lo, hi)
+	if err := c.writeSinkFile(path, sink, lo, hi); err != nil {
+		c.notify(ProgressUpdate{First: lo, Limit: hi, Merged: hi,
+			State: RunStateFailed, Final: true, Err: err})
+		return err
+	}
+	c.notify(ProgressUpdate{First: lo, Limit: hi, Merged: hi,
+		State: RunStateComplete, Final: true})
+	return nil
 }
 
 // MergeShards merges shard files written by RunShard into the final

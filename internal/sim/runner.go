@@ -72,10 +72,67 @@ type Campaign struct {
 	// resume (requires the sink to be a PortableSink; the default exact
 	// sink and the stream sink both are).
 	Checkpoint *CheckpointConfig
+	// Progress, when non-nil, receives ProgressUpdates as the merged
+	// prefix advances: one update when the run starts, one whenever
+	// blocks merge (flagged when the merge also wrote a checkpoint), and
+	// a final update on every exit path — complete, failed, or halted —
+	// so progress sidecars can mirror the final-checkpoint-on-error
+	// contract. Calls are made under the runner's merge lock and must be
+	// fast and non-blocking (throttle expensive work, e.g. file writes,
+	// inside the callback).
+	Progress func(ProgressUpdate)
 
 	// noEngineReuse forces a fresh engine per trial; determinism tests
 	// use it to prove reuse does not change results.
 	noEngineReuse bool
+}
+
+// RunState classifies a campaign run's lifecycle in ProgressUpdates and
+// progress sidecars.
+type RunState string
+
+const (
+	// RunStateRunning: trials are still merging.
+	RunStateRunning RunState = "running"
+	// RunStateComplete: the run finished every trial in its range.
+	RunStateComplete RunState = "complete"
+	// RunStateFailed: the run stopped on an error; Merged trials were
+	// still flushed (checkpointed when configured).
+	RunStateFailed RunState = "failed"
+	// RunStateHalted: CheckpointConfig.HaltAfter stopped the run cleanly.
+	RunStateHalted RunState = "halted"
+)
+
+// ProgressUpdate reports the merged-prefix progress of a campaign run.
+// Trial counts are absolute campaign indices: a shard run covering
+// [First, Limit) reports Merged within that range, against the
+// whole-campaign Total.
+type ProgressUpdate struct {
+	// First and Limit delimit the trial range this run covers (the full
+	// campaign for Run, the shard's slice for RunShard).
+	First, Limit int
+	// Merged is the contiguous merged prefix: trials [First, Merged) are
+	// folded into the sink.
+	Merged int
+	// Total is Campaign.Trials.
+	Total int
+	// State is the run's lifecycle state; exactly one update with
+	// Final=true carries a terminal state.
+	State RunState
+	// Checkpointed marks updates issued right after a checkpoint write.
+	Checkpointed bool
+	// Final marks the last update of the run.
+	Final bool
+	// Err is the terminal error when State is RunStateFailed.
+	Err error
+}
+
+// notify invokes the Progress hook if set.
+func (c *Campaign) notify(u ProgressUpdate) {
+	if c.Progress != nil {
+		u.Total = c.Trials
+		c.Progress(u)
+	}
 }
 
 // DefaultBlock is the default scheduling block size. Small enough that
@@ -167,6 +224,8 @@ func (c Campaign) Run() (CampaignResult, error) {
 	if halted {
 		return CampaignResult{}, ErrCampaignHalted
 	}
+	c.notify(ProgressUpdate{First: 0, Limit: c.Trials, Merged: c.Trials,
+		State: RunStateComplete, Final: true})
 	return sink.Result()
 }
 
@@ -230,6 +289,7 @@ func (c Campaign) runBlocks(sink CampaignSink, first, limit int) (halted bool, e
 		// Resuming a completed campaign: nothing to run.
 		return false, nil
 	}
+	c.notify(ProgressUpdate{First: first, Limit: limit, Merged: first, State: RunStateRunning})
 	B := c.blockSize()
 	if first%B != 0 {
 		return false, fmt.Errorf("sim: start trial %d is not aligned to block size %d", first, B)
@@ -305,6 +365,7 @@ func (c Campaign) runBlocks(sink CampaignSink, first, limit int) (halted bool, e
 		if mergeErr != nil {
 			return
 		}
+		before := mergedTrials
 		pending[b] = shard
 		for {
 			sh, ok := pending[nextBlock]
@@ -323,6 +384,7 @@ func (c Campaign) runBlocks(sink CampaignSink, first, limit int) (halted bool, e
 				mergedTrials = limit
 			}
 		}
+		ckpted := false
 		if ck != nil && mergedTrials < limit && mergedTrials-lastCkpt >= ck.Interval {
 			if err := c.writeSinkFile(ck.Path, sink.(PortableSink), 0, mergedTrials); err != nil {
 				mergeErr = err
@@ -330,6 +392,13 @@ func (c Campaign) runBlocks(sink CampaignSink, first, limit int) (halted bool, e
 				return
 			}
 			lastCkpt = mergedTrials
+			ckpted = true
+		}
+		if mergedTrials > before || ckpted {
+			// Under mergeMu by design: updates arrive in merged-prefix
+			// order, so sidecar writers never see progress move backwards.
+			c.notify(ProgressUpdate{First: first, Limit: limit, Merged: mergedTrials,
+				State: RunStateRunning, Checkpointed: ckpted})
 		}
 		if haltAt > 0 && mergedTrials >= haltAt {
 			haltFlag.Store(true)
@@ -397,6 +466,8 @@ func (c Campaign) runBlocks(sink CampaignSink, first, limit int) (halted bool, e
 	wg.Wait()
 
 	if mergeErr != nil {
+		c.notify(ProgressUpdate{First: first, Limit: limit, Merged: mergedTrials,
+			State: RunStateFailed, Final: true, Err: mergeErr})
 		return false, mergeErr
 	}
 	if len(failures) > 0 {
@@ -407,19 +478,26 @@ func (c Campaign) runBlocks(sink CampaignSink, first, limit int) (halted bool, e
 			}
 		}
 		// Flush the finished prefix before reporting, so the fail-fast
-		// contract loses no completed work.
+		// contract loses no completed work. The final progress update
+		// mirrors the same contract: it records the partial state.
+		c.notify(ProgressUpdate{First: first, Limit: limit, Merged: mergedTrials,
+			State: RunStateFailed, Final: true, Err: worst.err})
 		if ferr := flushFinal(mergedTrials); ferr != nil {
 			return false, fmt.Errorf("%w (and checkpoint flush failed: %v)", worst.err, ferr)
 		}
 		return false, worst.err
 	}
 	if haltFlag.Load() {
+		c.notify(ProgressUpdate{First: first, Limit: limit, Merged: mergedTrials,
+			State: RunStateHalted, Final: true})
 		if err := flushFinal(mergedTrials); err != nil {
 			return false, err
 		}
 		return true, nil
 	}
 	if err := flushFinal(limit); err != nil {
+		c.notify(ProgressUpdate{First: first, Limit: limit, Merged: limit,
+			State: RunStateFailed, Final: true, Err: err})
 		return false, err
 	}
 	return false, nil

@@ -245,10 +245,14 @@ func (r *FlightRecorder) Streams(worker int) []FlightStream {
 	return out
 }
 
-// flightHeader versions the serialized flight-dump format.
+// flightHeader versions the serialized flight-dump format. RunID is
+// optional (added within version 1, absent in older dumps): it carries
+// the same fleet run identifier as progress sidecars and event-log
+// lines, so a dump correlates with the run that produced it.
 type flightHeader struct {
 	Format  string         `json:"format"`
 	Version int            `json:"version"`
+	RunID   string         `json:"run_id,omitempty"`
 	Streams []FlightStream `json:"streams"`
 }
 
@@ -256,24 +260,37 @@ const flightFormatName = "mlckpt-flight"
 
 // WriteFlight serializes flight streams as JSON.
 func WriteFlight(w io.Writer, streams []FlightStream) error {
+	return WriteFlightWithRun(w, "", streams)
+}
+
+// WriteFlightWithRun serializes flight streams stamped with a fleet run
+// ID (empty omits the field, matching older dumps).
+func WriteFlightWithRun(w io.Writer, runID string, streams []FlightStream) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(flightHeader{Format: flightFormatName, Version: 1, Streams: streams})
+	return enc.Encode(flightHeader{Format: flightFormatName, Version: 1, RunID: runID, Streams: streams})
 }
 
 // ReadFlight deserializes a dump previously produced by WriteFlight.
 func ReadFlight(rd io.Reader) ([]FlightStream, error) {
+	streams, _, err := ReadFlightRun(rd)
+	return streams, err
+}
+
+// ReadFlightRun deserializes a dump along with its run ID ("" for dumps
+// written without one).
+func ReadFlightRun(rd io.Reader) ([]FlightStream, string, error) {
 	var h flightHeader
 	if err := json.NewDecoder(rd).Decode(&h); err != nil {
-		return nil, fmt.Errorf("trace: decode flight dump: %w", err)
+		return nil, "", fmt.Errorf("trace: decode flight dump: %w", err)
 	}
 	if h.Format != flightFormatName {
-		return nil, fmt.Errorf("trace: not a %s file (format %q)", flightFormatName, h.Format)
+		return nil, "", fmt.Errorf("trace: not a %s file (format %q)", flightFormatName, h.Format)
 	}
 	if h.Version != 1 {
-		return nil, fmt.Errorf("trace: unsupported flight version %d", h.Version)
+		return nil, "", fmt.Errorf("trace: unsupported flight version %d", h.Version)
 	}
-	return h.Streams, nil
+	return h.Streams, h.RunID, nil
 }
 
 // FlightPool hands out one FlightRecorder per campaign worker goroutine
