@@ -170,6 +170,48 @@ assert len({e["run_id"] for e in events}) == 1 and events[0]["run_id"], msgs
 assert all("ts_ms" in e for e in events), events[0]
 print("event log: %d JSON events, one run ID, start/end bracketed" % len(events))
 PYEOF
+
+    # Daemon smoke: boot mlckptd, plan the same request twice (second
+    # must be a byte-identical cache hit), confirm the service counters
+    # surface on /metrics, then SIGTERM and require a graceful stop.
+    echo "== daemon smoke (mlckptd serve, cache hit, drain)"
+    go build -o "$tmp/mlckptd" ./cmd/mlckptd
+    dport=9139
+    "$tmp/mlckptd" -listen "127.0.0.1:$dport" \
+        >"$tmp/daemon.log" 2>"$tmp/daemon.err" &
+    dpid=$!
+    dok=""
+    for _ in $(seq 1 100); do
+        if [ "$(curl -fsS "http://127.0.0.1:$dport/healthz" 2>/dev/null)" = "ok" ]; then
+            dok=1
+            break
+        fi
+        sleep 0.2
+    done
+    if [ -z "$dok" ]; then
+        echo "mlckptd never became healthy" >&2
+        cat "$tmp/daemon.err" >&2
+        kill "$dpid" 2>/dev/null || true
+        exit 1
+    fi
+    plan_req='{"system":"D4","technique":"dauwe"}'
+    curl -fsS -D "$tmp/h1.txt" -o "$tmp/plan1.json" \
+        -H 'Content-Type: application/json' -d "$plan_req" \
+        "http://127.0.0.1:$dport/v1/plan"
+    curl -fsS -D "$tmp/h2.txt" -o "$tmp/plan2.json" \
+        -H 'Content-Type: application/json' -d "$plan_req" \
+        "http://127.0.0.1:$dport/v1/plan"
+    grep -qi '^X-Cache: miss' "$tmp/h1.txt"
+    grep -qi '^X-Cache: hit' "$tmp/h2.txt"
+    cmp "$tmp/plan1.json" "$tmp/plan2.json"
+    python3 -m json.tool "$tmp/plan1.json" >/dev/null
+    curl -fsS "http://127.0.0.1:$dport/metrics" -o "$tmp/dmetrics.txt"
+    awk '$1 == "sweep_runs_total" && $2 == 1 { ok = 1 } END { exit !ok }' \
+        "$tmp/dmetrics.txt"
+    kill -TERM "$dpid"
+    wait "$dpid"
+    grep -q 'mlckptd: stopped' "$tmp/daemon.log"
+    echo "daemon: plan cached byte-identically, one sweep on /metrics, drained clean"
     echo "OK"
     exit 0
 fi
@@ -197,8 +239,8 @@ go test -run 'TestCRNMarginalsMatchStandaloneCampaigns' ./internal/experiments/
 # stats accumulators, and the conformance checker pool are the packages
 # that share state across goroutines; run them (plus the repo root,
 # whose integration test drives them together) under the race detector.
-echo "== go test -race (sim/optimize/obs/eventq/stats shard)"
-go test -race ./internal/sim/ ./internal/optimize/ ./internal/obs/ ./internal/eventq/ ./internal/stats/ .
+echo "== go test -race (sim/optimize/obs/eventq/stats/service shard)"
+go test -race ./internal/sim/ ./internal/optimize/ ./internal/obs/ ./internal/eventq/ ./internal/stats/ ./internal/service/ ./cmd/mlckptd/ .
 # The conformance suite is statistics-heavy; -short keeps the race pass
 # focused on the Pool/Campaign concurrency without the full sweeps.
 echo "== go test -race -short (conformance)"
@@ -210,6 +252,7 @@ if [ "${1:-}" = "fuzz" ]; then
     go test -run XXX -fuzz '^FuzzEventq$' -fuzztime 30s ./internal/eventq/
     go test -run XXX -fuzz '^FuzzEngineScenario$' -fuzztime 30s ./internal/conformance/
     go test -run XXX -fuzz '^FuzzPatternPlan$' -fuzztime 30s ./internal/conformance/
+    go test -run XXX -fuzz '^FuzzPlanRequest$' -fuzztime 30s ./internal/service/
 fi
 
 if [ "${1:-}" = "bench" ]; then

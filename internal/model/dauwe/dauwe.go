@@ -16,6 +16,7 @@
 package dauwe
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -55,6 +56,10 @@ type Technique struct {
 	// (see optimize.Space.Spans). Not for use across concurrent
 	// Optimize calls.
 	Spans *obs.Tracer
+	// Context, when non-nil, cancels an in-flight Optimize sweep (see
+	// optimize.Space.Context). Not for use across concurrent Optimize
+	// calls.
+	Context context.Context
 }
 
 // New returns the technique with the evaluation settings used in the
@@ -284,6 +289,7 @@ func (t *Technique) Optimize(sys *system.System) (pattern.Plan, model.Prediction
 		RefineTau0: true,
 		Metrics:    t.Metrics,
 		Spans:      t.Spans,
+		Context:    t.Context,
 	}
 	res, err := optimize.Sweep(space, func(p pattern.Plan) (float64, bool) {
 		v, err := expectedTime(sys, p, nil)
@@ -304,5 +310,27 @@ func (t *Technique) SetSweepMetrics(reg *obs.Registry) { t.Metrics = reg }
 // disables collection). Implements the optional interface the CLIs and
 // experiment harness probe for.
 func (t *Technique) SetSweepSpans(tr *obs.Tracer) { t.Spans = tr }
+
+// SetSweepContext installs a cancellation context for the optimizer
+// sweep (nil disables cancellation). Implements the optional interface
+// the serving layer probes for.
+func (t *Technique) SetSweepContext(ctx context.Context) { t.Context = ctx }
+
+// SetSweepGrid overrides the optimizer search grid: tau0Points τ0 grid
+// points (0 keeps the default) and countVals as the per-level count
+// candidate set (nil keeps the default). Implements the optional
+// interface the serving layer probes for.
+func (t *Technique) SetSweepGrid(tau0Points int, countVals []int) {
+	if tau0Points > 0 {
+		t.Tau0Points = tau0Points
+	}
+	if len(countVals) > 0 {
+		t.CountVals = countVals
+	}
+}
+
+// SetSweepWorkers bounds optimizer parallelism (0 = GOMAXPROCS).
+// Implements the optional interface the serving layer probes for.
+func (t *Technique) SetSweepWorkers(n int) { t.Workers = n }
 
 var _ model.Technique = (*Technique)(nil)

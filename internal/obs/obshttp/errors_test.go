@@ -1,0 +1,84 @@
+package obshttp
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMethodNotAllowed: the telemetry surface is pull-only — every
+// endpoint must reject write methods with 405 + Allow, for every verb
+// a confused client might send.
+func TestMethodNotAllowed(t *testing.T) {
+	ts := httptest.NewServer(Handler(testOptions()))
+	defer ts.Close()
+
+	endpoints := []string{"/metrics", "/snapshot", "/spans", "/flight", "/healthz", "/readyz", "/shards"}
+	methods := []string{http.MethodPost, http.MethodPut, http.MethodDelete, http.MethodPatch}
+	for _, ep := range endpoints {
+		for _, method := range methods {
+			t.Run(method+" "+ep, func(t *testing.T) {
+				req, err := http.NewRequest(method, ts.URL+ep, strings.NewReader("x"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusMethodNotAllowed {
+					t.Errorf("code = %d, want 405", resp.StatusCode)
+				}
+				if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+					t.Errorf("Allow = %q, want GET advertised", allow)
+				}
+			})
+		}
+	}
+}
+
+// TestHeadAllowed: HEAD is a read and must pass the method filter.
+func TestHeadAllowed(t *testing.T) {
+	ts := httptest.NewServer(Handler(testOptions()))
+	defer ts.Close()
+	resp, err := http.Head(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("HEAD /healthz = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestSpansFormatNegotiation: /spans accepts text (default) and json;
+// anything else is a client error, not a silent fallback.
+func TestSpansFormatNegotiation(t *testing.T) {
+	ts := httptest.NewServer(Handler(testOptions()))
+	defer ts.Close()
+
+	cases := []struct {
+		query string
+		code  int
+	}{
+		{"", http.StatusOK},
+		{"?format=text", http.StatusOK},
+		{"?format=json", http.StatusOK},
+		{"?format=xml", http.StatusBadRequest},
+		{"?format=JSON", http.StatusBadRequest}, // exact match only
+		{"?format=yaml", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run("format="+tc.query, func(t *testing.T) {
+			code, body := get(t, ts.URL, "/spans"+tc.query)
+			if code != tc.code {
+				t.Fatalf("code = %d body=%q, want %d", code, body, tc.code)
+			}
+			if tc.code == http.StatusBadRequest && !strings.Contains(body, "unknown format") {
+				t.Errorf("error body %q should name the bad format", body)
+			}
+		})
+	}
+}

@@ -47,11 +47,24 @@ type Options struct {
 	Shards func() (any, error)
 }
 
+// getOnly rejects write methods: the telemetry surface is pull-only,
+// so anything but GET/HEAD answers 405 with an Allow header.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
 // Handler returns the telemetry mux (exported separately from Serve for
 // tests and for embedding into an existing server).
 func Handler(opts Options) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/metrics", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		if opts.Snapshot == nil && opts.Stats == nil {
 			http.NotFound(w, r)
 			return
@@ -65,8 +78,8 @@ func Handler(opts Options) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteMetrics(w, snap)
-	})
-	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/snapshot", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		if opts.Snapshot == nil {
 			http.NotFound(w, r)
 			return
@@ -82,24 +95,30 @@ func Handler(opts Options) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
 		enc.Encode(snap)
-	})
-	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/spans", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		if opts.Spans == nil {
 			http.NotFound(w, r)
 			return
 		}
 		spans := opts.Spans()
-		if r.URL.Query().Get("format") == "json" {
+		switch format := r.URL.Query().Get("format"); format {
+		case "json":
 			w.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", " ")
 			enc.Encode(spans)
 			return
+		case "", "text":
+			// fall through to the text summary
+		default:
+			http.Error(w, fmt.Sprintf("unknown format %q (want text or json)", format), http.StatusBadRequest)
+			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		obs.WriteSpanSummary(w, spans)
-	})
-	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/flight", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		if opts.Flight == nil {
 			http.NotFound(w, r)
 			return
@@ -108,13 +127,13 @@ func Handler(opts Options) http.Handler {
 		if err := opts.Flight(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/healthz", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		// Liveness: the process answers, so it is alive.
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
-	})
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/readyz", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if opts.Ready != nil && !opts.Ready() {
 			w.WriteHeader(http.StatusServiceUnavailable)
@@ -122,8 +141,8 @@ func Handler(opts Options) http.Handler {
 			return
 		}
 		io.WriteString(w, "ready\n")
-	})
-	mux.HandleFunc("/shards", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/shards", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		if opts.Shards == nil {
 			http.NotFound(w, r)
 			return
@@ -137,7 +156,7 @@ func Handler(opts Options) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
 		enc.Encode(fleet)
-	})
+	}))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

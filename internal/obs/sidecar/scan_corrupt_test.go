@@ -1,0 +1,108 @@
+package sidecar
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestScanCorruptAndTruncated: a monitor scans while writers rename
+// files underneath it, so every flavor of damaged sidecar — truncated
+// mid-write, binary garbage, empty, schema-mismatched, or a directory
+// wearing the suffix — must be skipped silently while the valid
+// entries still come back, sorted.
+func TestScanCorruptAndTruncated(t *testing.T) {
+	dir := t.TempDir()
+	put := func(name string, data []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	valid := func(digest string, shard int) []byte {
+		f := File{
+			Format: Format, Version: Version, RunID: digest, ConfigDigest: digest,
+			State: "running", Shard: shard, Of: 2,
+			TrialsLimit: 100, TrialsMerged: 40, TrialsTotal: 100,
+			StartedUnixMS: 1000, UpdatedUnixMS: 2000, RefreshMS: 1000,
+		}
+		data, err := json.Marshal(&f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	good := valid("dddd", 0)
+	put("good0"+Suffix, good)
+	put("good1"+Suffix, valid("dddd", 1))
+
+	// Truncated mid-write: the front half of a valid document.
+	put("truncated"+Suffix, good[:len(good)/2])
+	// Binary garbage, not JSON at all.
+	put("garbage"+Suffix, []byte{0x00, 0xff, 0x1f, 0x8b, 0x08, 0x00})
+	// Empty file (writer created it, crashed before the first flush).
+	put("empty"+Suffix, nil)
+	// Well-formed JSON whose types don't match the schema.
+	put("wrongtype"+Suffix, []byte(`{"format":"mlckpt-progress","version":"not-a-number"}`))
+	// Well-formed JSON of the wrong shape entirely.
+	put("array"+Suffix, []byte(`[1,2,3]`))
+	// Valid document missing required identity fields.
+	put("incomplete"+Suffix, []byte(`{"format":"`+Format+`","version":`+strconv.Itoa(Version)+`}`))
+	// A directory wearing the suffix must not be opened as a file.
+	if err := os.Mkdir(filepath.Join(dir, "subdir"+Suffix), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	files, err := Scan(dir)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(files) != 2 {
+		names := make([]string, len(files))
+		for i, f := range files {
+			names[i] = filepath.Base(f.Path)
+		}
+		t.Fatalf("Scan returned %d files %v, want the 2 valid ones", len(files), names)
+	}
+	for i, f := range files {
+		if f.ConfigDigest != "dddd" || f.Shard != i {
+			t.Errorf("files[%d] = %s shard %d, want dddd shard %d", i, f.ConfigDigest, f.Shard, i)
+		}
+	}
+}
+
+// TestReadCorruptErrors: Read (unlike Scan) must surface what went
+// wrong, naming the path, so single-file tooling can diagnose damage.
+func TestReadCorruptErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"truncated", []byte(`{"format":"` + Format)},
+		{"empty", nil},
+		{"badschema", []byte(`{"format":"nope","version":1}`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+Suffix)
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := Read(path)
+			if err == nil {
+				t.Fatal("Read accepted a damaged sidecar")
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Errorf("error %q does not name the path %q", err, path)
+			}
+		})
+	}
+	if _, err := Read(filepath.Join(dir, "absent"+Suffix)); err == nil {
+		t.Fatal("Read of a missing file did not error")
+	}
+}

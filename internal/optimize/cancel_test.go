@@ -1,0 +1,107 @@
+package optimize
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pattern"
+)
+
+// grid returns n evenly spaced τ0 candidates.
+func grid(n int) []float64 {
+	g := make([]float64, n)
+	for i := range g {
+		g[i] = 1 + float64(i)
+	}
+	return g
+}
+
+func TestSweepCanceledMidway(t *testing.T) {
+	// The objective blocks the sweep after a handful of evaluations,
+	// then the context is canceled: the sweep must return ctx.Err()
+	// with a zero Result promptly, not run the remaining cells.
+	ctx, cancel := context.WithCancel(context.Background())
+	var evals atomic.Int64
+	started := make(chan struct{})
+	var once atomic.Bool
+	obj := func(p pattern.Plan) (float64, bool) {
+		if evals.Add(1) == 8 && once.CompareAndSwap(false, true) {
+			close(started) // enough cells in flight; trigger cancel
+		}
+		time.Sleep(100 * time.Microsecond)
+		return p.Tau0, true
+	}
+	space := Space{
+		Tau0:      grid(10000),
+		LevelSets: [][]int{{1}},
+		Workers:   4,
+		Context:   ctx,
+		Metrics:   obs.NewRegistry(),
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	startT := time.Now()
+	res, err := Sweep(space, obj)
+	elapsed := time.Since(startT)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sweep error = %v, want context.Canceled", err)
+	}
+	if res.Plan.Tau0 != 0 || res.ExpectedTime != 0 || res.Evaluated != 0 {
+		t.Errorf("canceled sweep returned non-zero Result %+v; partial state must not look like an answer", res)
+	}
+	// Workers stop at the next cell boundary: with 10k cells at 100µs
+	// each a full sweep would take ~1s even at 4 workers; cancellation
+	// must cut that far down. Generous bound for loaded CI machines.
+	if elapsed > 2*time.Second {
+		t.Errorf("canceled sweep took %v, want prompt return", elapsed)
+	}
+	if n := evals.Load(); n == 0 || n >= 10000 {
+		t.Errorf("evaluations = %d, want some but not all cells", n)
+	}
+	// Telemetry for the completed work still merges.
+	snap := space.Metrics.Snapshot()
+	var saw bool
+	for _, m := range snap.Counters {
+		if m.Name == "opt_evaluations_total" && m.Value > 0 {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Errorf("canceled sweep merged no opt_evaluations_total telemetry: %+v", snap.Counters)
+	}
+}
+
+func TestSweepPreCanceledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var evals atomic.Int64
+	obj := func(p pattern.Plan) (float64, bool) {
+		evals.Add(1)
+		return p.Tau0, true
+	}
+	space := Space{Tau0: grid(100), LevelSets: [][]int{{1}}, Workers: 2, Context: ctx}
+	if _, err := Sweep(space, obj); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sweep error = %v, want context.Canceled", err)
+	}
+	if n := evals.Load(); n != 0 {
+		t.Errorf("pre-canceled sweep evaluated %d cells, want 0", n)
+	}
+}
+
+func TestSweepNilContextUnaffected(t *testing.T) {
+	obj := func(p pattern.Plan) (float64, bool) { return 1 + (p.Tau0-3)*(p.Tau0-3), true }
+	space := Space{Tau0: []float64{1, 2, 3, 4, 5}, LevelSets: [][]int{{1}}}
+	res, err := Sweep(space, obj)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if res.Plan.Tau0 != 3 {
+		t.Errorf("best τ0 = %v, want 3", res.Plan.Tau0)
+	}
+}

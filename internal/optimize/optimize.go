@@ -18,6 +18,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"math"
 	"runtime"
@@ -88,6 +89,15 @@ type Space struct {
 	// goroutine-local tracers merged here once after the sweep; the same
 	// single-sweep-per-sink rule as Metrics applies.
 	Spans *obs.Tracer
+	// Context, when non-nil, cancels the sweep: workers check it at
+	// every work-queue grab and at every cell boundary within a chunk,
+	// so a canceled sweep stops after at most one in-flight cell per
+	// worker. A canceled sweep returns ctx.Err() and a zero Result —
+	// callers must not treat partial state as an answer (and in
+	// particular must not cache it). Metrics and Spans recorded before
+	// the cancellation point are still merged, so telemetry accounts
+	// for the aborted work.
+	Context context.Context
 }
 
 // Result is the outcome of a sweep.
@@ -322,7 +332,7 @@ func SweepObjectives(space Space, factory ObjectiveFactory) (Result, error) {
 			ws[w] = sw
 			process := sw.candidate
 			sweepSpan := trs[w].Start("sweep")
-			for {
+			for canceled(space.Context) == nil {
 				start := int(next.Add(int64(chunk))) - chunk
 				if start >= cells {
 					break
@@ -333,6 +343,9 @@ func SweepObjectives(space Space, factory ObjectiveFactory) (Result, error) {
 				}
 				chunkSpan := trs[w].Start("chunk")
 				for c := start; c < end; c++ {
+					if canceled(space.Context) != nil {
+						break
+					}
 					// τ0-major order puts the expensive small-τ0
 					// cells at the front of the queue.
 					tau0 := space.Tau0[c/len(space.LevelSets)]
@@ -350,6 +363,15 @@ func SweepObjectives(space Space, factory ObjectiveFactory) (Result, error) {
 		}(w)
 	}
 	wg.Wait()
+	if err := canceled(space.Context); err != nil {
+		// Abandon the partial reduction: a canceled sweep has no
+		// answer. Telemetry for the work actually done still merges.
+		if merr := mergeMetrics(space.Metrics, regs); merr != nil {
+			return Result{}, merr
+		}
+		mergeSpans(space.Spans, trs)
+		return Result{}, err
+	}
 
 	out := Result{ExpectedTime: math.Inf(1)}
 	found := false
@@ -385,6 +407,14 @@ func SweepObjectives(space Space, factory ObjectiveFactory) (Result, error) {
 	}
 	mergeSpans(space.Spans, trs)
 	return out, nil
+}
+
+// canceled returns the context's error (nil contexts never cancel).
+func canceled(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // mergeMetrics folds the per-worker shards into the sink, if any.

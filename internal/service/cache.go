@@ -1,0 +1,88 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// cache is a fixed-capacity LRU of marshaled response bodies with a
+// per-entry TTL. Bodies are stored and served as raw bytes: because
+// sweeps are byte-deterministic (PR 2), a hit is byte-identical to the
+// miss that populated it, so clients can verify hits by digest.
+//
+// The clock is injected so TTL expiry is testable without sleeping.
+type cache struct {
+	mu    sync.Mutex
+	max   int
+	ttl   time.Duration
+	now   func() time.Time
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	body    []byte
+	expires time.Time
+}
+
+func newCache(max int, ttl time.Duration, now func() time.Time) *cache {
+	return &cache{
+		max:   max,
+		ttl:   ttl,
+		now:   now,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, max),
+	}
+}
+
+// get returns the cached body for key. expired reports that the key was
+// present but past its TTL (the entry is dropped); callers count that
+// separately from a plain miss.
+func (c *cache) get(key string) (body []byte, ok, expired bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, hit := c.items[key]
+	if !hit {
+		return nil, false, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if c.now().After(ent.expires) {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		return nil, false, true
+	}
+	c.ll.MoveToFront(el)
+	return ent.body, true, false
+}
+
+// put inserts or refreshes key and reports whether a victim was evicted
+// to make room.
+func (c *cache) put(key string, body []byte) (evicted bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	expires := c.now().Add(c.ttl)
+	if el, hit := c.items[key]; hit {
+		ent := el.Value.(*cacheEntry)
+		ent.body = body
+		ent.expires = expires
+		c.ll.MoveToFront(el)
+		return false
+	}
+	for c.ll.Len() >= c.max {
+		victim := c.ll.Back()
+		c.ll.Remove(victim)
+		delete(c.items, victim.Value.(*cacheEntry).key)
+		evicted = true
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body, expires: expires})
+	return evicted
+}
+
+// len reports the current entry count.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup deduplicates concurrent identical requests
+// (singleflight): the first request for a digest becomes the leader and
+// computes; followers arriving before completion wait on the same call,
+// so a thundering herd of N identical requests costs exactly one sweep.
+//
+// Each call owns its own cancellation context, detached from any single
+// request: a waiter that times out leaves without poisoning the others,
+// and only when the LAST waiter leaves is the computation canceled (the
+// sweep aborts at the next chunk boundary and nothing is cached).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// call is one in-flight computation.
+type call struct {
+	// ctx cancels the computation when the last waiter leaves.
+	ctx    context.Context
+	cancel context.CancelFunc
+	// done closes once body/err are published.
+	done chan struct{}
+	body []byte
+	err  error
+
+	waiters int
+
+	// progress/total feed streamed progress lines to every waiter of a
+	// coalesced /v1/simulate run. progress is updated from campaign
+	// worker goroutines; total is set before the campaign starts.
+	progress atomic.Int64
+	total    atomic.Int64
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*call)}
+}
+
+// join returns the in-flight call for key, creating one (leader=true)
+// if none exists. Every join must be paired with either a successful
+// wait for done or a leave.
+func (g *flightGroup) join(key string) (c *call, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		return c, false
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c = &call{ctx: ctx, cancel: cancel, done: make(chan struct{}), waiters: 1}
+	g.m[key] = c
+	return c, true
+}
+
+// leave records that a waiter gave up (deadline, disconnect). When the
+// last waiter leaves an uncompleted call, the computation is canceled
+// and the key freed so a later request starts fresh.
+func (g *flightGroup) leave(key string, c *call) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c.waiters--
+	if c.waiters > 0 {
+		return
+	}
+	select {
+	case <-c.done: // already completed; complete() cleaned up
+	default:
+		c.cancel()
+		if g.m[key] == c {
+			delete(g.m, key)
+		}
+	}
+}
+
+// complete publishes the result to every waiter and retires the call.
+func (g *flightGroup) complete(key string, c *call, body []byte, err error) {
+	g.mu.Lock()
+	c.body, c.err = body, err
+	close(c.done)
+	if g.m[key] == c {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	c.cancel() // release the context's resources; computation is over
+}

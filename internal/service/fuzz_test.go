@@ -1,0 +1,64 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// FuzzPlanRequest fuzzes the request decoder/validator: arbitrary
+// bodies must never panic, and everything malformed — broken JSON,
+// NaN/Inf floats, out-of-range grids, oversized specs — must resolve
+// to a 4xx apiError, never a planSpec that escapes the documented
+// bounds.
+func FuzzPlanRequest(f *testing.F) {
+	seeds := []string{
+		`{"system":"D4","technique":"dauwe"}`,
+		`{"system":"M","technique":"daly","timeout_ms":1000}`,
+		`{"system":"B","technique":"moody","grid":{"tau0_points":64,"count_vals":[1,2,4]}}`,
+		`{"system_spec":{"name":"x","mtbf_minutes":60,"baseline_minutes":100,"levels":[{"checkpoint_minutes":1,"restart_minutes":1,"severity_prob":1}]},"technique":"daly"}`,
+		`{"system":"D4","technique":"dauwe","mtbf_minutes":1e308}`,
+		`{"system":"D4","technique":"dauwe","mtbf_minutes":-1}`,
+		`{"system":"D4","technique":"dauwe","grid":{"tau0_points":-3}}`,
+		`{"system":"D4","technique":"dauwe","grid":{"count_vals":[9,1]}}`,
+		`{"system":"D4"`,
+		`{"system":"D4","technique":"daly"}{"again":true}`,
+		`{"technique":"daly","system_spec":{"mtbf_minutes":1e999,"baseline_minutes":100,"levels":[]}}`,
+		`[]`,
+		`null`,
+		`{"system":"D4","technique":"daly","unknown_field":1}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req PlanRequest
+		if aerr := decodeBody(strings.NewReader(string(data)), &req); aerr != nil {
+			if aerr.Status != http.StatusBadRequest {
+				t.Fatalf("decode error status = %d, want 400 (%s)", aerr.Status, aerr.Msg)
+			}
+			return
+		}
+		sp, aerr := resolvePlan(req)
+		if aerr != nil {
+			if aerr.Status < 400 || aerr.Status > 499 {
+				t.Fatalf("resolve error status = %d, want 4xx (%s)", aerr.Status, aerr.Msg)
+			}
+			return
+		}
+		// A spec that validated must stay inside the documented bounds
+		// and produce a digest without panicking.
+		if sp.sys.NumLevels() > maxLevels {
+			t.Fatalf("validated spec has %d levels > max %d", sp.sys.NumLevels(), maxLevels)
+		}
+		if sp.tau0Points != 0 && (sp.tau0Points < 2 || sp.tau0Points > maxTau0Points) {
+			t.Fatalf("validated spec has tau0Points %d out of range", sp.tau0Points)
+		}
+		if len(sp.countVals) > maxCountVals {
+			t.Fatalf("validated spec has %d count vals > max %d", len(sp.countVals), maxCountVals)
+		}
+		if d := sp.digest(); len(d) != 16 {
+			t.Fatalf("digest %q not 16 hex chars", d)
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// metrics is a mutex-guarded façade over an obs.Registry. The obs
+// instruments themselves are single-writer by design (campaign code
+// gives each worker its own shard and merges); a server handles many
+// request goroutines against one registry, so every touch goes through
+// this lock. Request handling is milliseconds-to-seconds per operation —
+// the lock is nowhere near the hot path.
+type metrics struct {
+	mu  sync.Mutex
+	reg *obs.Registry
+}
+
+func newMetrics() *metrics { return &metrics{reg: obs.NewRegistry()} }
+
+func (m *metrics) inc(name string, labelPairs ...string) {
+	m.mu.Lock()
+	m.reg.Counter(name, labelPairs...).Inc()
+	m.mu.Unlock()
+}
+
+func (m *metrics) observe(name string, v float64, labelPairs ...string) {
+	m.mu.Lock()
+	m.reg.Histogram(name, labelPairs...).Observe(v)
+	m.mu.Unlock()
+}
+
+func (m *metrics) set(name string, v float64, labelPairs ...string) {
+	m.mu.Lock()
+	m.reg.Gauge(name, labelPairs...).Set(v)
+	m.mu.Unlock()
+}
+
+// merge folds a per-job registry (e.g. a sweep's telemetry) into the
+// service registry.
+func (m *metrics) merge(o *obs.Registry) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg.Merge(o)
+}
+
+func (m *metrics) snapshot() obs.Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg.Snapshot()
+}

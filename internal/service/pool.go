@@ -1,0 +1,80 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Sentinel errors surfaced to clients as backpressure responses.
+var (
+	// errSaturated means the bounded job queue was full: the client
+	// should retry after a short delay (HTTP 429 + Retry-After).
+	errSaturated = errors.New("service: job queue saturated")
+	// errDraining means the server is shutting down and no longer
+	// accepts work (HTTP 503).
+	errDraining = errors.New("service: draining")
+)
+
+// pool is the shared compute pool: a fixed set of worker goroutines
+// pulling jobs from a bounded queue. Sweeps and campaigns run here so
+// concurrent requests cannot oversubscribe the machine — each job is
+// itself internally parallel (Config.Workers), so the pool runs one job
+// at a time per slot and applies backpressure beyond the queue bound.
+type pool struct {
+	jobs    chan func()
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	pending atomic.Int64
+}
+
+// newPool starts slots worker goroutines over a queue-bounded job
+// channel.
+func newPool(slots, queue int) *pool {
+	p := &pool{jobs: make(chan func(), queue)}
+	for i := 0; i < slots; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+				p.pending.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues a job without blocking. It returns errSaturated when
+// the queue is full and errDraining after drain has begun.
+func (p *pool) submit(job func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errDraining
+	}
+	select {
+	case p.jobs <- job:
+		p.pending.Add(1)
+		return nil
+	default:
+		return errSaturated
+	}
+}
+
+// depth reports queued plus running jobs (the backlog a new request
+// would wait behind).
+func (p *pool) depth() int64 { return p.pending.Load() }
+
+// drain stops accepting jobs, runs everything already queued, and waits
+// for the workers to exit. Idempotent.
+func (p *pool) drain() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
